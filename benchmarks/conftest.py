@@ -1,0 +1,80 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every figure/observation bench consumes the same per-(task, technique)
+measurements, so the sweep runs once per pytest session and is shared.
+
+Two modes:
+
+* **slice mode (default)** — a stratified subset of the 80 tasks with small
+  timeouts, sized to finish in minutes; regenerated figures have the same
+  shape as the full run at reduced statistical weight;
+* **full mode** (``REPRO_BENCH_FULL=1``) — all 80 tasks with the standard
+  timeouts; this is what EXPERIMENTS.md records.
+
+Environment knobs: ``REPRO_BENCH_FULL``, ``REPRO_BENCH_EASY_TIMEOUT``
+(default 3 s), ``REPRO_BENCH_HARD_TIMEOUT`` (default 8 s).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.benchmarks import all_tasks
+from repro.experiments.runner import RunConfig, run_suite
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+EASY_TIMEOUT = float(os.environ.get("REPRO_BENCH_EASY_TIMEOUT", "3"))
+HARD_TIMEOUT = float(os.environ.get("REPRO_BENCH_HARD_TIMEOUT", "8"))
+
+#: Stratified slice: easy tasks across operator counts and feature mixes,
+#: hard forum tasks, and TPC-DS tasks including one of the two-join class.
+SLICE_TASKS = (
+    "fe01_total_sales_per_region",
+    "fe05_min_price_per_category",
+    "fe09_cumulative_units_per_product",
+    "fe10_salary_rank_within_dept",
+    "fe17_line_revenue",
+    "fe20_share_of_region_total",
+    "fe23_amount_by_segment",
+    "fe24_cumulative_quarterly_sales",
+    "fe26_stock_value_per_category",
+    "fe33_price_vs_product_peak",
+    "fe36_health_program_percentage",
+    "fe41_city_temp_vs_overall",
+    "fh02_region_quarter_share",
+    "fh04_cumulative_share_of_region",
+    "fh06_weekly_weight_deviation",
+    "fh07_best_subject_vs_cohort",
+    "fh12_country_weight_share",
+    "td01_item_cumulative_monthly_sales",
+    "td07_state_profit_share",
+    "td14_category_state_profit_rank",
+    "td18_gap_to_best_month",
+)
+
+
+def bench_tasks():
+    tasks = all_tasks()
+    if FULL:
+        return list(tasks)
+    wanted = set(SLICE_TASKS)
+    return [t for t in tasks if t.name in wanted]
+
+
+def bench_run_config() -> RunConfig:
+    return RunConfig(easy_timeout_s=EASY_TIMEOUT,
+                     hard_timeout_s=HARD_TIMEOUT)
+
+
+@pytest.fixture(scope="session")
+def sweep_results():
+    """One sweep of all three techniques over the bench task set."""
+    return run_suite(bench_tasks(), ("provenance", "value", "type"),
+                     bench_run_config())
+
+
+@pytest.fixture(scope="session")
+def provenance_results(sweep_results):
+    return [r for r in sweep_results if r.technique == "provenance"]

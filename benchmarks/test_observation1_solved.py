@@ -1,0 +1,59 @@
+"""Observation 1 (§5.2): tasks solved and relative solve times.
+
+Paper numbers (600 s timeout, authors' machine): Sickle 76/80 solved
+(43/43 easy, 33/37 hard), mean 12.8 s; value abstraction 60, type 51;
+Sickle on average 22.5× faster on commonly solved tasks.  Absolute numbers
+are hardware- and budget-bound; the assertions below pin the *ordering*
+claims, and the regenerated report records the measured values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import (
+    mean_solve_time,
+    observation_report,
+    solved_counts,
+    speedup_over,
+)
+
+
+def test_observation1_report(benchmark, sweep_results):
+    report = benchmark.pedantic(
+        lambda: observation_report(sweep_results), rounds=1, iterations=1)
+    print("\n" + report)
+
+    counts = solved_counts(sweep_results)
+    # Solve-count ordering: provenance >= value >= type (paper: 76/60/51).
+    assert counts["provenance"]["all"] >= counts["value"]["all"]
+    assert counts["value"]["all"] >= counts["type"]["all"]
+
+    # Provenance solves every easy task in the set (paper: 43/43).
+    easy_total = len({r.task for r in sweep_results
+                      if r.difficulty == "easy"})
+    assert counts["provenance"]["easy"] == easy_total
+
+
+def test_observation1_speedups(benchmark, sweep_results):
+    """Provenance is faster on commonly solved tasks (paper: 22.5x mean)."""
+    speedups = benchmark.pedantic(
+        lambda: {b: speedup_over(sweep_results, b)
+                 for b in ("value", "type")}, rounds=1, iterations=1)
+    for baseline in ("value", "type"):
+        speedup = speedups[baseline]
+        print(f"provenance speedup over {baseline}: {speedup:.1f}x")
+        if speedup == speedup:  # not NaN (needs common solved tasks)
+            assert speedup >= 1.0
+
+
+def test_observation1_mean_times(benchmark, sweep_results):
+    prov = benchmark.pedantic(
+        lambda: mean_solve_time(sweep_results, "provenance"),
+        rounds=1, iterations=1)
+    assert prov == prov  # solved something
+    value = mean_solve_time(sweep_results, "value")
+    if value == value:
+        # mean over *solved* tasks: provenance solves strictly more of the
+        # hard tail, so compare on easy tasks where both solve everything
+        prov_easy = mean_solve_time(sweep_results, "provenance", "easy")
+        value_easy = mean_solve_time(sweep_results, "value", "easy")
+        assert prov_easy <= value_easy * 1.5  # at worst comparable

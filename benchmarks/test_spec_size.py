@@ -1,0 +1,35 @@
+"""Specification-size statistics (§5.2 / §5.3 substrate).
+
+Paper: "the average user demonstration size is 9 cells (the number would be
+50 if full output examples were required from the user)".  This bench
+computes both quantities over the full 80-task suite (independent of the
+synthesis sweep — demonstrations are deterministic).
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import all_tasks
+
+
+def _stats():
+    tasks = all_tasks()
+    demo = sum(t.demonstration.size for t in tasks) / len(tasks)
+    full = sum(t.full_output_size for t in tasks) / len(tasks)
+    return demo, full
+
+
+def test_spec_size(benchmark):
+    demo, full = benchmark.pedantic(_stats, rounds=1, iterations=1)
+    print(f"\nmean demonstration size: {demo:.1f} cells (paper: 9)")
+    print(f"mean full-output size:   {full:.1f} cells (paper: 50)")
+    assert 6 <= demo <= 12
+    assert full / demo >= 3
+
+
+def test_incomplete_expressions_present(benchmark):
+    """The ♦-omission mechanism is exercised by the suite."""
+    tasks = all_tasks()
+    partial = benchmark.pedantic(
+        lambda: sum(1 for t in tasks if t.demonstration.is_partial()),
+        rounds=1, iterations=1)
+    assert partial >= len(tasks) * 0.3

@@ -1,0 +1,69 @@
+"""Disambiguating several demonstration-consistent queries (§3.2 Remarks).
+
+A small demonstration is ambiguous: several queries can generalize it.  The
+synthesizer returns a ranked list; this example then runs the interactive
+disambiguation loop — asking "which value belongs in this output cell?" —
+to narrow the candidates to the intended query, using a scripted oracle in
+place of a human.
+
+Run:  python examples/disambiguation.py
+"""
+
+from repro import Demonstration, Env, SynthesisConfig, Table, cell, \
+    evaluate, partial_func, synthesize, to_sql
+from repro.interaction import (
+    disambiguate_interactively,
+    distinguishing_cells,
+    partition_candidates,
+)
+
+
+def main() -> None:
+    table = Table.from_rows("T", ["ID", "Quarter", "Sales"], [
+        ["A", 1, 10], ["A", 2, 20], ["A", 3, 15],
+        ["B", 1, 20], ["B", 2, 15],
+    ])
+    env = Env.of(table)
+
+    # A deliberately vague demonstration: partial sums with omissions.
+    demo = Demonstration.of([
+        [cell("T", 0, 0), partial_func("sum", cell("T", 0, 2))],
+        [cell("T", 3, 0), partial_func("sum", cell("T", 3, 2))],
+    ])
+    print("Ambiguous demonstration (every cell partially omitted):")
+    for row in demo.cells:
+        print("  ", [repr(e) for e in row])
+
+    result = synthesize([table], demo,
+                        config=SynthesisConfig(max_operators=1, timeout_s=15,
+                                               top_n=8))
+    print(f"\n{len(result.queries)} consistent queries found:")
+    for i, q in enumerate(result.queries):
+        print(f"  [{i}] {to_sql(q, env).splitlines()[0]}")
+
+    classes = partition_candidates(result.queries, env)
+    print(f"\nObservational equivalence classes: {len(classes)}")
+
+    cells = distinguishing_cells(result.queries, env, max_cells=3)
+    print("\nBest distinguishing questions:")
+    for c in cells:
+        options = ", ".join(f"{v!r} -> keeps {len(ids)}"
+                            for v, ids in c.options)
+        print(f"  output cell ({c.row}, {c.col}): {options}")
+
+    # Pretend the user wanted the cumulative sum per ID.
+    target = next(q for q in result.queries
+                  if getattr(q, "agg_func", None) == "cumsum")
+    target_out = evaluate(target, env)
+
+    def oracle(question):
+        return target_out.cell(question.row, question.col)
+
+    alive = disambiguate_interactively(result.queries, env, oracle)
+    print(f"\nAfter the question loop, {len(alive)} candidate(s) remain:")
+    for i in alive:
+        print(to_sql(result.queries[i], env))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""repro — a reproduction of *Synthesizing Analytical SQL Queries from
+Computation Demonstration* (Sickle, PLDI 2022).
+
+Public API tour
+---------------
+
+Build tables and queries::
+
+    from repro import Table, Env, TableRef, Group, Partition, Arithmetic
+
+Demonstrate a computation and synthesize queries::
+
+    from repro import Demonstration, cell, func, partial_func, synthesize
+
+    demo = Demonstration.of([[cell("T", 0, 0), func("sum", cell("T", 0, 3),
+                                                    cell("T", 1, 3))]])
+    result = synthesize([table], demo)
+    print(to_sql(result.queries[0], Env.of(table)))
+
+Everything the paper's evaluation needs lives under
+:mod:`repro.benchmarks` (the 80-task suite) and :mod:`repro.experiments`
+(figure/report harness).
+"""
+
+from repro.lang import (
+    Arithmetic,
+    Env,
+    Filter,
+    Group,
+    Hole,
+    Join,
+    LeftJoin,
+    Partition,
+    Proj,
+    Query,
+    Sort,
+    TableRef,
+    parse_instructions,
+    to_instructions,
+    to_sql,
+)
+from repro.provenance import (
+    Demonstration,
+    cell,
+    const,
+    demo_consistent,
+    func,
+    generalizes,
+    group,
+    partial_func,
+)
+from repro.semantics import evaluate, evaluate_tracking
+from repro.spec import DemoGenConfig, generate_demonstration
+from repro.synthesis import SynthesisConfig, Synthesizer, synthesize
+from repro.table import Table
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # tables
+    "Table", "Env",
+    # language
+    "Query", "TableRef", "Filter", "Join", "LeftJoin", "Proj", "Sort",
+    "Group", "Partition", "Arithmetic", "Hole", "to_sql", "to_instructions",
+    "parse_instructions",
+    # semantics
+    "evaluate", "evaluate_tracking",
+    # demonstrations
+    "Demonstration", "cell", "const", "func", "partial_func", "group",
+    "generalizes", "demo_consistent",
+    "generate_demonstration", "DemoGenConfig",
+    # synthesis
+    "synthesize", "Synthesizer", "SynthesisConfig",
+    "__version__",
+]

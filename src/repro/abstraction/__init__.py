@@ -1,0 +1,29 @@
+"""Abstract interpreters for partial queries.
+
+Three abstractions share the pluggable interface
+:class:`~repro.abstraction.base.Abstraction`:
+
+* :class:`~repro.abstraction.provenance_abs.ProvenanceAbstraction` — the
+  paper's contribution (Fig. 11): over-approximate cell-level provenance;
+* :class:`~repro.abstraction.type_abs.TypeAbstraction` — Morpheus-style
+  table-shape reasoning (baseline);
+* :class:`~repro.abstraction.value_abs.ValueAbstraction` — Scythe-style
+  known-value tracking (baseline).
+
+All three answer one question: *can some instantiation of this partial query
+still satisfy the demonstration?*  ``False`` lets the enumerator prune.
+"""
+
+from repro.abstraction.base import Abstraction, NoAbstraction, make_abstraction
+from repro.abstraction.cells import AbstractCell, AbstractTable
+from repro.abstraction.consistency import abstract_consistent
+from repro.abstraction.provenance_abs import ProvenanceAbstraction, abstract_eval
+from repro.abstraction.type_abs import TypeAbstraction
+from repro.abstraction.value_abs import ValueAbstraction
+
+__all__ = [
+    "Abstraction", "NoAbstraction", "make_abstraction",
+    "AbstractCell", "AbstractTable", "abstract_consistent",
+    "ProvenanceAbstraction", "abstract_eval",
+    "TypeAbstraction", "ValueAbstraction",
+]

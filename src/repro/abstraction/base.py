@@ -1,0 +1,53 @@
+"""The pluggable abstraction interface used by the enumerator (Alg. 1, l.13).
+
+An abstraction's :meth:`feasible` implements ``AbstractReasoning`` +
+``UNSAT``: it must return ``False`` only when *no* instantiation of the
+partial query can satisfy the demonstration (Property 2) — soundness of the
+whole synthesizer rests on this contract, and the property-based tests
+hammer it.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Env, Query
+from repro.provenance.demo import Demonstration
+
+
+class Abstraction:
+    """Base class: subclasses override :meth:`feasible`."""
+
+    name = "abstract"
+
+    def feasible(self, query: Query, env: Env, demo: Demonstration) -> bool:
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop any per-run caches (called between benchmark tasks)."""
+
+
+class NoAbstraction(Abstraction):
+    """Never prunes — the plain enumerative-search baseline."""
+
+    name = "none"
+
+    def feasible(self, query: Query, env: Env, demo: Demonstration) -> bool:
+        return True
+
+
+def make_abstraction(name: str, **kwargs) -> Abstraction:
+    """Factory: ``provenance`` | ``type`` | ``value`` | ``none``."""
+    from repro.abstraction.provenance_abs import ProvenanceAbstraction
+    from repro.abstraction.type_abs import TypeAbstraction
+    from repro.abstraction.value_abs import ValueAbstraction
+
+    factories = {
+        "provenance": ProvenanceAbstraction,
+        "type": TypeAbstraction,
+        "value": ValueAbstraction,
+        "none": NoAbstraction,
+    }
+    try:
+        return factories[name](**kwargs)
+    except KeyError:
+        raise ValueError(
+            f"unknown abstraction {name!r}; choose from {sorted(factories)}") from None

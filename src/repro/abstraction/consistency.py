@@ -1,0 +1,130 @@
+"""Abstract provenance consistency ``E ◁ T◦`` (Definition 3).
+
+The demonstration embeds into the abstract table when there are injective
+row and column assignments under which every demonstration cell's input-cell
+references are a subset of the assigned abstract cell's over-approximated
+provenance: ``ref(E[i,j]) ⊆ T◦[r_i, c_j]``.
+
+By Property 2, failure of this check proves that *no* instantiation of the
+partial query satisfies the demonstration — the pruning foundation.
+
+Value-shadow refinement (sound, ablatable)
+------------------------------------------
+For a *complete* demonstration cell (no ♦), ``e ≺ e★`` forces the two
+expressions to evaluate to the same value: constants and cell references
+match syntactically, ``group{...}`` members all share one value, and the
+complete commutative/positional rules demand argument bijections.  So when
+the abstract cell carries an exact value shadow (concrete subqueries, strong
+tiers over exact row sets) and that value differs from the demonstrated
+cell's value, the mapping is refuted.  This is what lets the analyzer reject
+a wrong aggregation *function* — which leaves provenance sets untouched —
+without enumerating its entire downstream subtree.
+"""
+
+from __future__ import annotations
+
+from repro.abstraction.cells import AbstractTable, head_matches
+from repro.errors import ExpressionError
+from repro.lang.ast import Env
+from repro.lang.functions import function_spec
+from repro.provenance.demo import Demonstration
+from repro.provenance.expr import FuncApp
+from repro.provenance.refs import refs_of
+from repro.util.matching import embedding_exists
+from repro.table.values import value_eq
+
+_NO_VALUE = object()
+
+# Demonstrations and environments are fixed across the thousands of
+# feasibility checks of one synthesis run; their extracted refs/values are
+# memoized by identity.
+_DEMO_CACHE: dict[tuple[int, int, bool], tuple] = {}
+
+
+def _demo_values(demo: Demonstration, env: Env | None) -> list[list[object]]:
+    """Per-cell demonstrated values; ``_NO_VALUE`` where not computable."""
+    out: list[list[object]] = []
+    for row in demo.cells:
+        values: list[object] = []
+        for expr in row:
+            if env is None:
+                values.append(_NO_VALUE)
+                continue
+            try:
+                values.append(expr.evaluate(env))
+            except ExpressionError:
+                values.append(_NO_VALUE)  # partial expression (♦)
+        out.append(values)
+    return out
+
+
+def _demo_heads(demo: Demonstration) -> list[list[str]]:
+    """Outermost term kind per demo cell ('ref' for references/constants)."""
+    out = []
+    for row in demo.cells:
+        out.append([function_spec(e.func).kind if isinstance(e, FuncApp)
+                    else "ref" for e in row])
+    return out
+
+
+def _demo_analysis(demo: Demonstration, env: Env | None,
+                   value_shadow: bool) -> tuple:
+    key = (id(demo), id(env), value_shadow)
+    cached = _DEMO_CACHE.get(key)
+    if cached is not None and cached[0] is demo:
+        return cached[1], cached[2], cached[3]
+    refs = [[refs_of(demo.cell(i, j)) for j in range(demo.n_cols)]
+            for i in range(demo.n_rows)]
+    values = _demo_values(demo, env) if value_shadow else None
+    heads = _demo_heads(demo)
+    if len(_DEMO_CACHE) > 256:
+        _DEMO_CACHE.clear()
+    _DEMO_CACHE[key] = (demo, refs, values, heads)
+    return refs, values, heads
+
+
+def abstract_consistent(table: AbstractTable, demo: Demonstration,
+                        env: Env | None = None,
+                        value_shadow: bool = True,
+                        head_typing: bool = True) -> bool:
+    """Definition 3: ``E ◁ T◦`` (+ value-shadow / head-typing refinements).
+
+    Head typing: under the tracking semantics each operator family produces
+    one kind of term (arithmetic functions only from ``arithmetic``, rank
+    terms only from ``partition``, ...), and ``e ≺ e★`` preserves the
+    outermost function.  A demonstration cell can therefore only embed into
+    an abstract cell whose producer can build its head kind — which stops
+    not-yet-instantiated upper operators from shielding wrong lower
+    parameters.
+    """
+    demo_refs, demo_vals, demo_heads = _demo_analysis(demo, env, value_shadow)
+
+    # Weak / medium abstraction tiers produce many identical rows (the whole
+    # table collapses to one shape).  The embedding only needs each distinct
+    # row up to ``demo.n_rows`` times (injectivity is per-row-slot), so
+    # deduplicating with a multiplicity cap shrinks the matching problem from
+    # hundreds of rows to a handful.
+    kept_rows: list[tuple] = []
+    seen: dict[tuple, int] = {}
+    for row in table.rows:
+        key = tuple((c.refs, c.value if c.known else _NO_VALUE) for c in row)
+        count = seen.get(key, 0)
+        if count < demo.n_rows:
+            seen[key] = count + 1
+            kept_rows.append(row)
+
+    def cell_ok(i: int, j: int, r: int, c: int) -> bool:
+        cell = kept_rows[r][c]
+        if not demo_refs[i][j] <= cell.refs:
+            return False
+        if head_typing and not head_matches(demo_heads[i][j], cell.head):
+            return False
+        if demo_vals is not None and cell.known:
+            demonstrated = demo_vals[i][j]
+            if demonstrated is not _NO_VALUE \
+                    and not value_eq(cell.value, demonstrated):
+                return False
+        return True
+
+    return embedding_exists(demo.n_rows, demo.n_cols,
+                            len(kept_rows), table.n_cols, cell_ok)

@@ -1,0 +1,125 @@
+"""Morpheus-style *type* abstraction (baseline, §5.1).
+
+Tracks high-level table-shape information — intervals on row and column
+counts, with exact group counts where derivable — extended to the analytical
+operators exactly as the paper describes ("we extend the abstract semantics
+to infer the most precise table shape and group number for partition and
+aggregation rules").
+
+The consistency check is necessarily weak for *partial* demonstrations: the
+demonstration is a fragment of the output, so only upper bounds can prune
+(the output must be able to hold at least the demonstrated rows/columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.abstraction.base import Abstraction
+from repro.errors import EvaluationError
+from repro.lang import ast
+from repro.lang.holes import Hole, is_concrete
+from repro.provenance.demo import Demonstration
+from repro.semantics.concrete import evaluate
+from repro.semantics.groups import extract_groups
+
+
+@dataclass(frozen=True)
+class Shape:
+    """Row/column count intervals (inclusive)."""
+
+    rows_min: int
+    rows_max: int
+    cols_min: int
+    cols_max: int
+
+    @staticmethod
+    def exact(rows: int, cols: int) -> "Shape":
+        return Shape(rows, rows, cols, cols)
+
+
+def shape_of(query: ast.Query, env: ast.Env) -> Shape:
+    return _shape_cached(query, env)
+
+
+@lru_cache(maxsize=100_000)
+def _shape_cached(query: ast.Query, env: ast.Env) -> Shape:
+    if is_concrete(query):
+        out = evaluate(query, env)
+        return Shape.exact(out.n_rows, out.n_cols)
+
+    if isinstance(query, ast.Filter):
+        child = _shape_cached(query.child, env)
+        return Shape(0, child.rows_max, child.cols_min, child.cols_max)
+
+    if isinstance(query, ast.Join):
+        left = _shape_cached(query.left, env)
+        right = _shape_cached(query.right, env)
+        rows_max = left.rows_max * right.rows_max
+        rows_min = rows_max if query.pred is None else 0
+        return Shape(rows_min, rows_max,
+                     left.cols_min + right.cols_min,
+                     left.cols_max + right.cols_max)
+
+    if isinstance(query, ast.LeftJoin):
+        left = _shape_cached(query.left, env)
+        right = _shape_cached(query.right, env)
+        return Shape(left.rows_min, left.rows_max * max(right.rows_max, 1),
+                     left.cols_min + right.cols_min,
+                     left.cols_max + right.cols_max)
+
+    if isinstance(query, ast.Proj):
+        child = _shape_cached(query.child, env)
+        if isinstance(query.cols, Hole):
+            return Shape(child.rows_min, child.rows_max, 1, child.cols_max)
+        n = len(query.cols)
+        return Shape(child.rows_min, child.rows_max, n, n)
+
+    if isinstance(query, ast.Sort):
+        return _shape_cached(query.child, env)
+
+    if isinstance(query, ast.Group):
+        child = _shape_cached(query.child, env)
+        if isinstance(query.keys, Hole):
+            return Shape(min(child.rows_min, 1), max(child.rows_max, 1),
+                         1, child.cols_max + 1)
+        n_keys = len(query.keys)
+        if is_concrete(query.child):
+            # Exact group count (the "most precise group number").
+            child_out = evaluate(query.child, env)
+            key_rows = [[row[k] for k in query.keys] for row in child_out.rows]
+            n_groups = max(len(extract_groups(key_rows)), 1)
+            return Shape.exact(n_groups, n_keys + 1)
+        return Shape(min(child.rows_min, 1), max(child.rows_max, 1),
+                     n_keys + 1, n_keys + 1)
+
+    if isinstance(query, ast.Partition):
+        child = _shape_cached(query.child, env)
+        return Shape(child.rows_min, child.rows_max,
+                     child.cols_min + 1, child.cols_max + 1)
+
+    if isinstance(query, ast.Arithmetic):
+        child = _shape_cached(query.child, env)
+        return Shape(child.rows_min, child.rows_max,
+                     child.cols_min + 1, child.cols_max + 1)
+
+    raise EvaluationError(f"no type-abstract rule for {type(query).__name__}")
+
+
+def clear_cache() -> None:
+    _shape_cached.cache_clear()
+
+
+class TypeAbstraction(Abstraction):
+    """Prune when the demonstration cannot fit the output shape."""
+
+    name = "type"
+
+    def feasible(self, query: ast.Query, env: ast.Env,
+                 demo: Demonstration) -> bool:
+        shape = shape_of(query, env)
+        return demo.n_rows <= shape.rows_max and demo.n_cols <= shape.cols_max
+
+    def reset(self) -> None:
+        clear_cache()

@@ -1,0 +1,135 @@
+"""Scythe-style *value* abstraction (baseline, §5.1).
+
+Tracks, per output column, the set of concrete values that can possibly
+appear; columns derived by aggregation/partition/arithmetic are ⊤
+("unknown") because without the function and its parameters no concrete
+value can be predicted — the paper's reimplementation keeps "all known
+values (e.g., values from the grouping columns) for analytical operators but
+ignores unknown values (e.g., values from the aggregation column)".
+
+The consistency check evaluates each demonstration cell to its final value
+when possible (complete expressions over input references) and requires an
+injective assignment of demonstration columns to output columns whose value
+sets cover them; unknown columns cover anything — which is exactly why the
+running example's ``q_B`` survives this abstraction (§2.2) but not the
+provenance abstraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.abstraction.base import Abstraction
+from repro.errors import EvaluationError, ExpressionError
+from repro.lang import ast
+from repro.lang.holes import Hole, is_concrete
+from repro.provenance.demo import Demonstration
+from repro.semantics.concrete import evaluate
+from repro.table.values import Value, canonical
+from repro.util.matching import bipartite_match
+
+
+@dataclass(frozen=True)
+class ColumnValues:
+    """Values a column may hold: a known set, plus a ⊤ flag."""
+
+    known: frozenset
+    unknown: bool
+
+    @staticmethod
+    def top() -> "ColumnValues":
+        return ColumnValues(frozenset(), True)
+
+    def covers(self, value: Value) -> bool:
+        return self.unknown or canonical(value) in self.known
+
+    def union(self, other: "ColumnValues") -> "ColumnValues":
+        return ColumnValues(self.known | other.known,
+                            self.unknown or other.unknown)
+
+
+def _exact_columns(table) -> tuple[ColumnValues, ...]:
+    return tuple(
+        ColumnValues(frozenset(canonical(v) for v in table.column_values(j)),
+                     False)
+        for j in range(table.n_cols))
+
+
+def column_values_of(query: ast.Query, env: ast.Env) -> tuple[ColumnValues, ...]:
+    return _values_cached(query, env)
+
+
+@lru_cache(maxsize=100_000)
+def _values_cached(query: ast.Query, env: ast.Env) -> tuple[ColumnValues, ...]:
+    if is_concrete(query):
+        return _exact_columns(evaluate(query, env))
+
+    if isinstance(query, ast.Filter):
+        return _values_cached(query.child, env)
+
+    if isinstance(query, (ast.Join, ast.LeftJoin)):
+        left = _values_cached(query.left, env)
+        right = _values_cached(query.right, env)
+        if isinstance(query, ast.LeftJoin):
+            right = tuple(c.union(ColumnValues(frozenset((None,)), False))
+                          for c in right)
+        return left + right
+
+    if isinstance(query, ast.Proj):
+        child = _values_cached(query.child, env)
+        if isinstance(query.cols, Hole):
+            return child
+        return tuple(child[c] for c in query.cols)
+
+    if isinstance(query, ast.Sort):
+        return _values_cached(query.child, env)
+
+    if isinstance(query, ast.Group):
+        child = _values_cached(query.child, env)
+        if isinstance(query.keys, Hole):
+            return child + (ColumnValues.top(),)
+        return tuple(child[k] for k in query.keys) + (ColumnValues.top(),)
+
+    if isinstance(query, (ast.Partition, ast.Arithmetic)):
+        return _values_cached(query.child, env) + (ColumnValues.top(),)
+
+    raise EvaluationError(f"no value-abstract rule for {type(query).__name__}")
+
+
+def clear_cache() -> None:
+    _values_cached.cache_clear()
+
+
+class ValueAbstraction(Abstraction):
+    """Prune when a computable demonstration value cannot appear anywhere."""
+
+    name = "value"
+
+    def feasible(self, query: ast.Query, env: ast.Env,
+                 demo: Demonstration) -> bool:
+        columns = column_values_of(query, env)
+        if demo.n_cols > len(columns):
+            return False
+        demo_values = self._demo_values(demo, env)
+        # Injective demo-column → output-column assignment covering every
+        # computable demonstration value (no row-level reasoning: Scythe's
+        # abstraction tracks value flow, not positions).
+        return bipartite_match(
+            demo.n_cols, len(columns),
+            lambda j, c: all(columns[c].covers(v)
+                             for v in demo_values[j])) is not None
+
+    @staticmethod
+    def _demo_values(demo: Demonstration, env: ast.Env) -> list[list[Value]]:
+        by_col: list[list[Value]] = [[] for _ in range(demo.n_cols)]
+        for i in range(demo.n_rows):
+            for j in range(demo.n_cols):
+                try:
+                    by_col[j].append(demo.cell(i, j).evaluate(env))
+                except ExpressionError:
+                    continue  # partial expression: value unknowable
+        return by_col
+
+    def reset(self) -> None:
+        clear_cache()

@@ -1,0 +1,245 @@
+"""Deterministic synthetic data for the benchmark suite.
+
+The original forum posts' data and TPC-DS's dsdgen are unavailable offline,
+so every input table is generated here from seeded RNGs: same name + seed →
+same rows, run after run, machine after machine.  Tables are kept at the
+paper's working scale (§5.1 samples inputs down to 20 rows anyway).
+"""
+
+from __future__ import annotations
+
+from repro.table.schema import ForeignKey
+from repro.table.table import Table
+from repro.util.rng import stable_rng
+
+# --------------------------------------------------------------------- forum
+
+REGIONS = ("North", "South", "East", "West")
+CITIES = ("Oslo", "Lima", "Kyoto", "Cairo", "Perth")
+CATEGORIES = ("Books", "Games", "Music")
+DEPARTMENTS = ("Sales", "Engineering", "Support")
+PRODUCTS = ("P1", "P2", "P3", "P4")
+STUDENTS = ("Ana", "Ben", "Cleo", "Dev", "Eli")
+SUBJECTS = ("Math", "History")
+
+
+def sales_by_region_quarter(name: str = "sales", regions: int = 3,
+                            quarters: int = 4, seed: int = 0) -> Table:
+    """region × quarter sales facts: (Region, Quarter, Sales)."""
+    rng = stable_rng(f"sales:{name}", seed)
+    rows = [[REGIONS[r], q, rng.randrange(50, 500)]
+            for r in range(regions) for q in range(1, quarters + 1)]
+    return Table.from_rows(name, ["Region", "Quarter", "Sales"], rows)
+
+
+def product_sales(name: str = "orders", products: int = 3, per_product: int = 4,
+                  seed: int = 0) -> Table:
+    """order lines: (Product, Month, Units, Price)."""
+    rng = stable_rng(f"orders:{name}", seed)
+    rows = []
+    for p in range(products):
+        for m in range(1, per_product + 1):
+            rows.append([PRODUCTS[p], m, rng.randrange(1, 20),
+                         rng.randrange(5, 60)])
+    return Table.from_rows(name, ["Product", "Month", "Units", "Price"], rows)
+
+
+def employee_salaries(name: str = "employees", per_dept: int = 4,
+                      seed: int = 0) -> Table:
+    """(Name, Dept, Salary, Bonus)."""
+    rng = stable_rng(f"emp:{name}", seed)
+    rows = []
+    for d, dept in enumerate(DEPARTMENTS):
+        for i in range(per_dept):
+            rows.append([f"{dept[:3]}{i}", dept,
+                         rng.randrange(40, 120) * 1000,
+                         rng.randrange(0, 15) * 500])
+    return Table.from_rows(name, ["Name", "Dept", "Salary", "Bonus"], rows)
+
+
+def student_scores(name: str = "scores", students: int = 4, tests: int = 3,
+                   seed: int = 0) -> Table:
+    """(Student, Subject, Test, Score)."""
+    rng = stable_rng(f"scores:{name}", seed)
+    rows = []
+    for s in range(students):
+        for subject in SUBJECTS[:2]:
+            for t in range(1, tests + 1):
+                rows.append([STUDENTS[s], subject, t, rng.randrange(40, 100)])
+    return Table.from_rows(name, ["Student", "Subject", "Test", "Score"], rows)
+
+
+def weather_readings(name: str = "weather", cities: int = 3, days: int = 5,
+                     seed: int = 0) -> Table:
+    """(City, Day, TempC, Rainfall)."""
+    rng = stable_rng(f"weather:{name}", seed)
+    rows = [[CITIES[c], d, rng.randrange(-5, 35), rng.randrange(0, 30)]
+            for c in range(cities) for d in range(1, days + 1)]
+    return Table.from_rows(name, ["City", "Day", "TempC", "Rainfall"], rows)
+
+
+def stock_prices(name: str = "stocks", tickers: int = 2, days: int = 6,
+                 seed: int = 0) -> Table:
+    """(Ticker, Day, Close, Volume)."""
+    rng = stable_rng(f"stocks:{name}", seed)
+    rows = []
+    for t in range(tickers):
+        price = rng.randrange(50, 150)
+        for d in range(1, days + 1):
+            price = max(5, price + rng.randrange(-10, 12))
+            rows.append([f"TK{t}", d, price, rng.randrange(100, 900) * 10])
+    return Table.from_rows(name, ["Ticker", "Day", "Close", "Volume"], rows)
+
+
+def website_sessions(name: str = "sessions", pages: int = 3, weeks: int = 4,
+                     seed: int = 0) -> Table:
+    """(Page, Week, Visits, Signups)."""
+    rng = stable_rng(f"web:{name}", seed)
+    rows = []
+    for p in range(pages):
+        for w in range(1, weeks + 1):
+            visits = rng.randrange(100, 900)
+            rows.append([f"/page{p}", w, visits,
+                         rng.randrange(0, max(2, visits // 10))])
+    return Table.from_rows(name, ["Page", "Week", "Visits", "Signups"], rows)
+
+
+def category_products(name: str = "catalog", per_category: int = 4,
+                      seed: int = 0) -> Table:
+    """(Item, Category, Price, Stock) with an Item primary key."""
+    rng = stable_rng(f"catalog:{name}", seed)
+    rows = []
+    for c, cat in enumerate(CATEGORIES):
+        for i in range(per_category):
+            rows.append([f"{cat[:2]}{i}", cat, rng.randrange(4, 80),
+                         rng.randrange(0, 50)])
+    return Table.from_rows(name, ["Item", "Category", "Price", "Stock"], rows,
+                           primary_key=["Item"])
+
+
+def orders_with_customers(seed: int = 0) -> tuple[Table, Table]:
+    """orders(CustomerId FK, Amount, Quarter) + customers(CustomerId, Segment, Region)."""
+    rng = stable_rng("orders-customers", seed)
+    customers = Table.from_rows(
+        "customers", ["CustomerId", "Segment", "Region"],
+        [[100 + i, ("Retail", "Corporate")[i % 2], REGIONS[i % 3]]
+         for i in range(4)],
+        primary_key=["CustomerId"])
+    orders = Table.from_rows(
+        "orders", ["OrderId", "CustomerId", "Amount", "Quarter"],
+        [[i + 1, 100 + rng.randrange(4), rng.randrange(20, 400),
+          rng.randrange(1, 5)] for i in range(12)],
+        primary_key=["OrderId"],
+        foreign_keys=[ForeignKey("CustomerId", "customers", "CustomerId")])
+    return orders, customers
+
+
+def shipments_with_warehouses(seed: int = 0) -> tuple[Table, Table]:
+    """shipments(WarehouseId FK, Weight, Week) + warehouses(WarehouseId, Country)."""
+    rng = stable_rng("shipments", seed)
+    warehouses = Table.from_rows(
+        "warehouses", ["WarehouseId", "Country", "Capacity"],
+        [[10 + i, ("NO", "PE", "JP")[i % 3], rng.randrange(100, 400)]
+         for i in range(3)],
+        primary_key=["WarehouseId"])
+    shipments = Table.from_rows(
+        "shipments", ["ShipmentId", "WarehouseId", "Weight", "Week"],
+        [[i + 1, 10 + rng.randrange(3), rng.randrange(5, 95),
+          1 + rng.randrange(4)] for i in range(14)],
+        primary_key=["ShipmentId"],
+        foreign_keys=[ForeignKey("WarehouseId", "warehouses", "WarehouseId")])
+    return shipments, warehouses
+
+
+def shuffled(table: Table, seed: int = 0) -> Table:
+    """Deterministically shuffle a table's rows (for sort-needing tasks)."""
+    rng = stable_rng(f"shuffle:{table.name}", seed)
+    order = list(range(table.n_rows))
+    rng.shuffle(order)
+    return table.take_rows(order)
+
+
+# -------------------------------------------------------------------- TPC-DS
+
+ITEM_CATEGORIES = ("Electronics", "Home", "Sports")
+ITEM_BRANDS = ("acme", "zenco", "orbit")
+STATES = ("CA", "WA", "TX")
+
+
+def tpcds_item(n_items: int = 6, seed: int = 0) -> Table:
+    rng = stable_rng("tpcds:item", seed)
+    rows = []
+    for i in range(n_items):
+        cat = ITEM_CATEGORIES[i % len(ITEM_CATEGORIES)]
+        rows.append([1000 + i, cat, ITEM_BRANDS[rng.randrange(3)],
+                     f"{cat[:4].lower()}-cls{i % 2}",
+                     round(rng.uniform(5, 90), 2)])
+    return Table.from_rows(
+        "item", ["i_item_sk", "i_category", "i_brand", "i_class",
+                 "i_current_price"],
+        rows, primary_key=["i_item_sk"])
+
+
+def tpcds_date_dim(n_months: int = 4, seed: int = 0) -> Table:
+    rows = []
+    for m in range(n_months):
+        rows.append([2450815 + m, 1998 + m // 12, m % 12 + 1, m % 12 // 3 + 1])
+    return Table.from_rows(
+        "date_dim", ["d_date_sk", "d_year", "d_moy", "d_qoy"],
+        rows, primary_key=["d_date_sk"])
+
+
+def tpcds_store(n_stores: int = 3, seed: int = 0) -> Table:
+    rows = [[1 + s, STATES[s % len(STATES)], f"store_{s}"]
+            for s in range(n_stores)]
+    return Table.from_rows("store", ["s_store_sk", "s_state", "s_store_name"],
+                           rows, primary_key=["s_store_sk"])
+
+
+def tpcds_store_sales(n_rows: int = 18, n_items: int = 6, n_months: int = 4,
+                      n_stores: int = 3, seed: int = 0) -> Table:
+    rng = stable_rng("tpcds:store_sales", seed)
+    rows = []
+    for _ in range(n_rows):
+        qty = rng.randrange(1, 10)
+        price = round(rng.uniform(4, 80), 2)
+        rows.append([
+            2450815 + rng.randrange(n_months),
+            1000 + rng.randrange(n_items),
+            1 + rng.randrange(n_stores),
+            qty,
+            round(qty * price, 2),
+            round(qty * price * rng.uniform(-0.2, 0.4), 2),
+        ])
+    return Table.from_rows(
+        "store_sales",
+        ["ss_sold_date_sk", "ss_item_sk", "ss_store_sk", "ss_quantity",
+         "ss_ext_sales_price", "ss_net_profit"],
+        rows,
+        foreign_keys=[
+            ForeignKey("ss_sold_date_sk", "date_dim", "d_date_sk"),
+            ForeignKey("ss_item_sk", "item", "i_item_sk"),
+            ForeignKey("ss_store_sk", "store", "s_store_sk"),
+        ])
+
+
+def tpcds_flat_sales(name: str = "sales_flat", n_rows: int = 18,
+                     seed: int = 0) -> Table:
+    """A pre-joined sales view: several TPC-DS tasks operate on view
+    definitions the benchmark's long scripts materialize first (§5.1:
+    "isolating table view definitions")."""
+    rng = stable_rng(f"tpcds:flat:{name}", seed)
+    rows = []
+    for _ in range(n_rows):
+        cat = ITEM_CATEGORIES[rng.randrange(3)]
+        month = rng.randrange(1, 5)
+        qty = rng.randrange(1, 10)
+        price = round(rng.uniform(4, 80), 2)
+        rows.append([cat, ITEM_BRANDS[rng.randrange(3)], month,
+                     STATES[rng.randrange(3)], qty, round(qty * price, 2),
+                     round(qty * price * rng.uniform(-0.2, 0.4), 2)])
+    return Table.from_rows(
+        name,
+        ["category", "brand", "month", "state", "quantity", "sales_price",
+         "net_profit"],
+        rows)

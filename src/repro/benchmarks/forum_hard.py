@@ -1,0 +1,253 @@
+"""The 17 hard forum-style tasks (4–5 operators).
+
+These mirror the paper's harder forum questions: multi-step pipelines that
+combine filtering/joining with grouping, window computation and derived
+arithmetic — cumulative shares, deviations from computed baselines, ranked
+aggregates of aggregates.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import datagen as dg
+from repro.benchmarks.forum_easy import _health_program_table, _task
+from repro.lang.ast import (
+    Arithmetic,
+    Filter,
+    Group,
+    Join,
+    Partition,
+    Sort,
+    TableRef,
+)
+from repro.lang.predicates import ColCmp, ConstCmp
+from repro.benchmarks.task import BenchmarkTask
+
+_GPA = ("group", "partition", "arithmetic")
+_GPAF = ("group", "partition", "arithmetic", "filter")
+_GPAS = ("group", "partition", "arithmetic", "sort")
+
+
+def hard_tasks() -> list[BenchmarkTask]:
+    tasks: list[BenchmarkTask] = []
+    add = tasks.append
+
+    sessions = dg.website_sessions()
+    add(_task("fh01_cumulative_signup_share",
+              "After week 1, cumulative signups per page as % of that "
+              "page-week's visits.",
+              sessions,
+              Arithmetic(
+                  Partition(Group(Filter(TableRef("sessions"),
+                                         pred=ConstCmp(1, ">", 1)),
+                                  keys=(0, 1, 2), agg_func="sum", agg_col=3),
+                            keys=(0,), agg_func="cumsum", agg_col=3),
+                  func="percent", cols=(4, 2)),
+              _GPAF, 4, constants=(1,), difficulty="hard"))
+
+    o2, cust = dg.orders_with_customers()
+    add(_task("fh02_region_quarter_share",
+              "Each region-quarter's order amount as % of the region total "
+              "(orders ⋈ customers).",
+              (o2, cust),
+              Arithmetic(
+                  Partition(Group(Join(TableRef("orders"),
+                                       TableRef("customers"),
+                                       pred=ColCmp(1, "==", 4)),
+                                  keys=(6, 3), agg_func="sum", agg_col=2),
+                            keys=(0,), agg_func="sum", agg_col=2),
+                  func="percent", cols=(2, 3)),
+              _GPA, 4, difficulty="hard"))
+
+    orders = dg.product_sales()
+    add(_task("fh03_revenue_share_of_total",
+              "Each product's revenue (units × price) as % of total revenue.",
+              orders,
+              Arithmetic(
+                  Partition(Group(Arithmetic(TableRef("orders"), func="mul",
+                                             cols=(2, 3)),
+                                  keys=(0,), agg_func="sum", agg_col=4),
+                            keys=(), agg_func="sum", agg_col=1),
+                  func="percent", cols=(1, 2)),
+              _GPA, 4, difficulty="hard"))
+
+    sales = dg.sales_by_region_quarter()
+    add(_task("fh04_cumulative_share_of_region",
+              "Cumulative quarterly sales as % of the region's full-year total.",
+              sales,
+              Arithmetic(
+                  Partition(Partition(Group(TableRef("sales"), keys=(0, 1),
+                                            agg_func="sum", agg_col=2),
+                                      keys=(0,), agg_func="cumsum", agg_col=2),
+                            keys=(0,), agg_func="sum", agg_col=2),
+                  func="percent", cols=(3, 4)),
+              _GPA, 4, difficulty="hard"))
+
+    catalog = dg.category_products()
+    add(_task("fh05_category_value_rank",
+              "Rank categories by total stock value of in-stock items.",
+              catalog,
+              Partition(Group(Arithmetic(Filter(TableRef("catalog"),
+                                                pred=ConstCmp(3, ">", 0)),
+                                         func="mul", cols=(2, 3)),
+                              keys=(1,), agg_func="sum", agg_col=4),
+                        keys=(), agg_func="rank_desc", agg_col=1),
+              _GPAF, 4, constants=(0,), difficulty="hard"))
+
+    ship, wh = dg.shipments_with_warehouses()
+    add(_task("fh06_weekly_weight_deviation",
+              "Weekly shipped weight per country minus the country's weekly "
+              "average (shipments ⋈ warehouses).",
+              (ship, wh),
+              Arithmetic(
+                  Partition(Group(Join(TableRef("shipments"),
+                                       TableRef("warehouses"),
+                                       pred=ColCmp(1, "==", 4)),
+                                  keys=(5, 3), agg_func="sum", agg_col=2),
+                            keys=(0,), agg_func="avg", agg_col=2),
+                  func="sub", cols=(2, 3)),
+              _GPA, 4, difficulty="hard"))
+
+    scores = dg.student_scores()
+    add(_task("fh07_best_subject_vs_cohort",
+              "Each student's best per-subject average minus the cohort "
+              "average of best averages.",
+              scores,
+              Arithmetic(
+                  Partition(Group(Group(TableRef("scores"), keys=(0, 1),
+                                        agg_func="avg", agg_col=3),
+                                  keys=(0,), agg_func="max", agg_col=2),
+                            keys=(), agg_func="avg", agg_col=1),
+                  func="sub", cols=(1, 2)),
+              _GPA, 4, difficulty="hard"))
+
+    stocks = dg.stock_prices()
+    add(_task("fh08_early_close_vs_market",
+              "Average close per ticker over the first four days, minus the "
+              "market-wide average of those averages.",
+              stocks,
+              Arithmetic(
+                  Partition(Group(Filter(TableRef("stocks"),
+                                         pred=ConstCmp(1, "<=", 4)),
+                                  keys=(0,), agg_func="avg", agg_col=2),
+                            keys=(), agg_func="avg", agg_col=1),
+                  func="sub", cols=(1, 2)),
+              _GPAF, 4, constants=(4,), difficulty="hard"))
+
+    add(_task("fh09_retail_region_rank",
+              "Rank regions by retail order amount (orders ⋈ customers, "
+              "retail segment only).",
+              (o2, cust),
+              Partition(Group(Filter(Join(TableRef("orders"),
+                                          TableRef("customers"),
+                                          pred=ColCmp(1, "==", 4)),
+                                     pred=ConstCmp(5, "==", "Retail")),
+                              keys=(6,), agg_func="sum", agg_col=2),
+                        keys=(), agg_func="rank_desc", agg_col=1),
+              _GPAF, 4, constants=("Retail",), difficulty="hard"))
+
+    add(_task("fh10_conversion_deviation_rank",
+              "Rank each page's weeks by how far their conversion rate sits "
+              "above the page average.",
+              sessions,
+              Partition(Arithmetic(
+                  Partition(Arithmetic(TableRef("sessions"), func="percent",
+                                       cols=(3, 2)),
+                            keys=(0,), agg_func="avg", agg_col=4),
+                  func="sub", cols=(4, 5)),
+                  keys=(0,), agg_func="rank_desc", agg_col=6),
+              _GPA, 4, difficulty="hard"))
+
+    add(_task("fh11_gap_to_best_quarter",
+              "Per region-quarter: sales gap to the region's best quarter, "
+              "ranked within the region.",
+              sales,
+              Partition(Arithmetic(
+                  Partition(Group(TableRef("sales"), keys=(0, 1),
+                                  agg_func="sum", agg_col=2),
+                            keys=(0,), agg_func="max", agg_col=2),
+                  func="sub", cols=(2, 3)),
+                  keys=(0,), agg_func="rank_desc", agg_col=4),
+              _GPA, 4, difficulty="hard"))
+
+    add(_task("fh12_country_weight_share",
+              "Each country's share of globally shipped weight "
+              "(shipments ⋈ warehouses).",
+              (ship, wh),
+              Arithmetic(
+                  Partition(Group(Join(TableRef("shipments"),
+                                       TableRef("warehouses"),
+                                       pred=ColCmp(1, "==", 4)),
+                                  keys=(5,), agg_func="sum", agg_col=2),
+                            keys=(), agg_func="sum", agg_col=1),
+                  func="percent", cols=(1, 2)),
+              _GPA, 4, difficulty="hard"))
+
+    add(_task("fh13_cumulative_revenue_share",
+              "Cumulative monthly revenue per product as % of the product's "
+              "total revenue.",
+              orders,
+              Arithmetic(
+                  Partition(Partition(Group(Arithmetic(TableRef("orders"),
+                                                       func="mul",
+                                                       cols=(2, 3)),
+                                            keys=(0, 1), agg_func="sum",
+                                            agg_col=4),
+                                      keys=(0,), agg_func="cumsum",
+                                      agg_col=2),
+                            keys=(0,), agg_func="sum", agg_col=2),
+                  func="percent", cols=(3, 4)),
+              _GPA, 5, difficulty="hard", max_key_cols=2))
+
+    health = _health_program_table()
+    add(_task("fh14_youth_enrollment_percentage",
+              "Running example restricted to the Youth age group: % of "
+              "population enrolled by the end of each quarter.",
+              health,
+              Arithmetic(
+                  Partition(Group(Filter(TableRef("T"),
+                                         pred=ConstCmp(2, "==", "Youth")),
+                                  keys=(0, 1, 4), agg_func="sum", agg_col=3),
+                            keys=(0,), agg_func="cumsum", agg_col=3),
+                  func="percent", cols=(4, 2)),
+              _GPAF, 4, constants=("Youth",), difficulty="hard"))
+
+    employees = dg.employee_salaries()
+    add(_task("fh15_bonus_dept_deviation_rank",
+              "Among employees with a bonus: department average salaries, "
+              "their deviation from the company-wide mean, ranked.",
+              employees,
+              Partition(Arithmetic(
+                  Partition(Group(Filter(TableRef("employees"),
+                                         pred=ConstCmp(3, ">", 0)),
+                                  keys=(1,), agg_func="avg", agg_col=2),
+                            keys=(), agg_func="avg", agg_col=1),
+                  func="sub", cols=(1, 2)),
+                  keys=(), agg_func="rank_desc", agg_col=3),
+              _GPAF, 5, constants=(0,), difficulty="hard"))
+
+    weather = dg.weather_readings()
+    add(_task("fh16_early_rainfall_share",
+              "Over the first three days, each city's share of total rainfall.",
+              weather,
+              Arithmetic(
+                  Partition(Group(Filter(TableRef("weather"),
+                                         pred=ConstCmp(1, "<=", 3)),
+                                  keys=(0,), agg_func="sum", agg_col=3),
+                            keys=(), agg_func="sum", agg_col=1),
+                  func="percent", cols=(1, 2)),
+              _GPAF, 4, constants=(3,), difficulty="hard"))
+
+    stocks_shuffled = dg.shuffled(dg.stock_prices(), seed=11)
+    add(_task("fh17_final_running_volume_rank",
+              "Sort the trade log by day, accumulate volume per ticker, and "
+              "rank tickers by their final cumulative volume.",
+              stocks_shuffled,
+              Partition(Group(Partition(Sort(TableRef("stocks"), cols=(1,),
+                                             ascending=True),
+                                        keys=(0,), agg_func="cumsum",
+                                        agg_col=3),
+                              keys=(0,), agg_func="max", agg_col=4),
+                        keys=(), agg_func="rank_desc", agg_col=1),
+              _GPAS, 4, difficulty="hard", max_key_cols=2))
+
+    return tasks

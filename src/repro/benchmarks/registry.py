@@ -1,0 +1,56 @@
+"""Benchmark registry: lookup, filtering and suite statistics."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.benchmarks.task import BenchmarkTask
+
+
+@lru_cache(maxsize=1)
+def all_tasks() -> tuple[BenchmarkTask, ...]:
+    """All 80 tasks: 43 easy forum + 17 hard forum + 20 TPC-DS."""
+    from repro.benchmarks.forum_easy import easy_tasks as forum_easy
+    from repro.benchmarks.forum_hard import hard_tasks as forum_hard
+    from repro.benchmarks.tpcds import tpcds_tasks
+
+    return tuple(forum_easy() + forum_hard() + tpcds_tasks())
+
+
+def easy_tasks() -> tuple[BenchmarkTask, ...]:
+    return tuple(t for t in all_tasks() if t.difficulty == "easy")
+
+
+def hard_tasks() -> tuple[BenchmarkTask, ...]:
+    return tuple(t for t in all_tasks() if t.difficulty == "hard")
+
+
+def tasks_by_suite(suite: str) -> tuple[BenchmarkTask, ...]:
+    return tuple(t for t in all_tasks() if t.suite == suite)
+
+
+def get_task(name: str) -> BenchmarkTask:
+    for task in all_tasks():
+        if task.name == name:
+            return task
+    raise KeyError(f"no benchmark named {name!r}")
+
+
+def task_summary() -> dict:
+    """Suite statistics mirroring §5.1's benchmark description."""
+    tasks = all_tasks()
+    return {
+        "total": len(tasks),
+        "easy": sum(1 for t in tasks if t.difficulty == "easy"),
+        "hard": sum(1 for t in tasks if t.difficulty == "hard"),
+        "forum": sum(1 for t in tasks if t.suite == "forum"),
+        "tpcds": sum(1 for t in tasks if t.suite == "tpcds"),
+        "requires_join": sum(1 for t in tasks if "join" in t.features),
+        "requires_partition": sum(
+            1 for t in tasks if "partition" in t.features),
+        "requires_group": sum(1 for t in tasks if "group" in t.features),
+        "mean_demo_cells": round(
+            sum(t.demonstration.size for t in tasks) / len(tasks), 2),
+        "mean_full_output_cells": round(
+            sum(t.full_output_size for t in tasks) / len(tasks), 2),
+    }

@@ -1,0 +1,115 @@
+"""Benchmark task model.
+
+A task bundles everything one evaluation run needs: input tables, the
+ground-truth query, the synthesis configuration (operator pool, constants,
+budget caps — shared by every abstraction technique so the search space is
+identical, §5.1), and a deterministically generated demonstration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+
+from repro.errors import BenchmarkError
+from repro.lang import ast
+from repro.lang.size import operator_count
+from repro.provenance.consistency import demo_consistent
+from repro.provenance.demo import Demonstration
+from repro.semantics.concrete import evaluate
+from repro.semantics.tracking import evaluate_tracking
+from repro.spec.demo_gen import DemoGenConfig, generate_demonstration
+from repro.synthesis.config import SynthesisConfig
+from repro.table.table import Table
+
+
+@dataclass(frozen=True)
+class BenchmarkTask:
+    """One synthesis benchmark: ``(T̄, E, q_gt)`` plus its search space."""
+
+    name: str
+    suite: str                      # "forum" | "tpcds"
+    difficulty: str                 # "easy" | "hard"
+    description: str
+    tables: tuple[Table, ...]
+    ground_truth: ast.Query
+    config: SynthesisConfig
+    demo_config: DemoGenConfig = field(default_factory=DemoGenConfig)
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("forum", "tpcds"):
+            raise BenchmarkError(f"{self.name}: unknown suite {self.suite!r}")
+        if self.difficulty not in ("easy", "hard"):
+            raise BenchmarkError(
+                f"{self.name}: unknown difficulty {self.difficulty!r}")
+
+    @property
+    def env(self) -> ast.Env:
+        return ast.Env(self.tables)
+
+    @cached_property
+    def demonstration(self) -> Demonstration:
+        """The §5.1-generated demonstration (deterministic per task name)."""
+        return generate_demonstration(self.ground_truth, self.env,
+                                      self.demo_config, label=self.name)
+
+    @property
+    def operators_required(self) -> int:
+        """Operator count of the ground truth, excluding final projections.
+
+        The search never needs ``proj`` (consistency allows demonstrations
+        over column subsets), so projections in the ground truth do not
+        count toward the required skeleton size.
+        """
+        return sum(1 for node in self.ground_truth.walk()
+                   if not isinstance(node, (ast.TableRef, ast.Proj)))
+
+    @cached_property
+    def features(self) -> frozenset[str]:
+        """Operator families the ground truth uses (suite statistics)."""
+        names = set()
+        for node in self.ground_truth.walk():
+            if isinstance(node, (ast.Join, ast.LeftJoin)):
+                names.add("join")
+            elif isinstance(node, ast.Group):
+                names.add("group")
+            elif isinstance(node, ast.Partition):
+                names.add("partition")
+            elif isinstance(node, ast.Arithmetic):
+                names.add("arithmetic")
+            elif isinstance(node, ast.Filter):
+                names.add("filter")
+            elif isinstance(node, ast.Sort):
+                names.add("sort")
+        return frozenset(names)
+
+    @property
+    def full_output_size(self) -> int:
+        """Cells a full I/O example would need (spec-size statistics)."""
+        out = evaluate(self.ground_truth, self.env)
+        return out.n_rows * out.n_cols
+
+
+def validate_task(task: BenchmarkTask) -> None:
+    """Raise :class:`BenchmarkError` unless the task is internally coherent.
+
+    Checks: the ground truth evaluates; its output is non-degenerate; the
+    generated demonstration is provenance-consistent with the ground truth
+    (Definition 1); and the skeleton budget can reach the ground truth.
+    """
+    try:
+        out = evaluate(task.ground_truth, task.env)
+    except Exception as exc:  # pragma: no cover - authoring error
+        raise BenchmarkError(f"{task.name}: ground truth fails: {exc}") from exc
+    if out.n_rows < 1:
+        raise BenchmarkError(
+            f"{task.name}: ground-truth output is empty")
+    if task.operators_required > task.config.max_operators:
+        raise BenchmarkError(
+            f"{task.name}: ground truth needs {task.operators_required} "
+            f"operators but the budget is {task.config.max_operators}")
+    tracked = evaluate_tracking(task.ground_truth, task.env)
+    if not demo_consistent(tracked.exprs, task.demonstration.cells):
+        raise BenchmarkError(
+            f"{task.name}: generated demonstration is not consistent with "
+            "the ground truth")

@@ -1,0 +1,311 @@
+"""The 20 TPC-DS-style tasks (4–5 operators, star-schema joins).
+
+Modelled on the analytical views the paper extracts from TPC-DS (§5.1):
+cumulative sums over months (q51), deviation from a window average
+(q47/q89), in-group revenue shares (q98), ranked aggregates (q36/q44/q67),
+per-unit profit ratios (q49).  Tasks ``td13``–``td16`` are the two-join,
+many-column pipelines that stress every technique — the paper reports its
+four unsolved benchmarks are exactly this kind of TPC-DS task.
+
+Schema (see :mod:`repro.benchmarks.datagen`):
+
+* ``store_sales``: ss_sold_date_sk, ss_item_sk, ss_store_sk, ss_quantity,
+  ss_ext_sales_price, ss_net_profit  (FKs to the dimensions)
+* ``item``: i_item_sk, i_category, i_brand, i_class, i_current_price
+* ``date_dim``: d_date_sk, d_year, d_moy, d_qoy
+* ``store``: s_store_sk, s_state, s_store_name
+* ``sales_flat``: a pre-joined view (category, brand, month, state,
+  quantity, sales_price, net_profit) standing in for the materialized views
+  TPC-DS scripts build before the analytical step.
+"""
+
+from __future__ import annotations
+
+from repro.benchmarks import datagen as dg
+from repro.benchmarks.task import BenchmarkTask
+from repro.lang.ast import (
+    Arithmetic,
+    Filter,
+    Group,
+    Join,
+    Partition,
+    Sort,
+    TableRef,
+)
+from repro.lang.predicates import ColCmp, ConstCmp
+from repro.synthesis.config import SynthesisConfig
+from repro.table.table import Table
+
+
+def _task(name: str, description: str, tables, gt, pool, max_ops: int,
+          constants=(), max_key_cols: int = 3) -> BenchmarkTask:
+    if isinstance(tables, Table):
+        tables = (tables,)
+    return BenchmarkTask(
+        name=name, suite="tpcds", difficulty="hard", description=description,
+        tables=tuple(tables), ground_truth=gt,
+        config=SynthesisConfig(max_operators=max_ops,
+                               operator_pool=tuple(pool),
+                               constants=tuple(constants),
+                               max_key_cols=max_key_cols))
+
+
+_GPA = ("group", "partition", "arithmetic")
+_GPAF = ("group", "partition", "arithmetic", "filter")
+_GPAS = ("group", "partition", "arithmetic", "sort")
+
+
+def _ss() -> Table:
+    return dg.tpcds_store_sales()
+
+
+def _ss_item() -> Join:
+    return Join(TableRef("store_sales"), TableRef("item"),
+                pred=ColCmp(1, "==", 6))
+
+
+def _ss_date() -> Join:
+    return Join(TableRef("store_sales"), TableRef("date_dim"),
+                pred=ColCmp(0, "==", 6))
+
+
+def _ss_store() -> Join:
+    return Join(TableRef("store_sales"), TableRef("store"),
+                pred=ColCmp(2, "==", 6))
+
+
+def tpcds_tasks() -> list[BenchmarkTask]:
+    tasks: list[BenchmarkTask] = []
+    add = tasks.append
+
+    ss, item, date, store = (_ss(), dg.tpcds_item(), dg.tpcds_date_dim(),
+                             dg.tpcds_store())
+    flat = dg.tpcds_flat_sales()
+
+    # td01 — q51: cumulative monthly sales per item.
+    add(_task("td01_item_cumulative_monthly_sales",
+              "Cumulative monthly sales revenue per item (q51 pattern).",
+              (ss, date),
+              Partition(Sort(Group(_ss_date(), keys=(1, 8), agg_func="sum",
+                                   agg_col=4),
+                             cols=(1,), ascending=True),
+                        keys=(0,), agg_func="cumsum", agg_col=2),
+              _GPAS, 4))
+
+    # td02 — q47: monthly brand sales deviation from the brand average.
+    add(_task("td02_brand_monthly_deviation",
+              "CA-only monthly sales per brand minus the brand's monthly "
+              "average (q47 pattern).",
+              flat,
+              Arithmetic(
+                  Partition(Group(Filter(TableRef("sales_flat"),
+                                         pred=ConstCmp(3, "==", "CA")),
+                                  keys=(1, 2), agg_func="sum", agg_col=5),
+                            keys=(0,), agg_func="avg", agg_col=2),
+                  func="sub", cols=(2, 3)),
+              _GPAF, 4, constants=("CA",)))
+
+    # td03 — q36: categories ranked by net profit.
+    add(_task("td03_category_profit_rank",
+              "Rank item categories by total net profit on bulk lines "
+              "(q36 pattern).",
+              (ss, item),
+              Partition(Group(Filter(_ss_item(), pred=ConstCmp(3, ">", 2)),
+                              keys=(7,), agg_func="sum", agg_col=5),
+                        keys=(), agg_func="rank_desc", agg_col=1),
+              _GPAF, 4, constants=(2,)))
+
+    # td04 — q44: brands ranked by average selling price.
+    add(_task("td04_brand_avg_price_rank",
+              "Rank brands by average sale price over profitable lines "
+              "(q44 pattern).",
+              (ss, item),
+              Partition(Group(Filter(_ss_item(), pred=ConstCmp(5, ">", 0)),
+                              keys=(8,), agg_func="avg", agg_col=4),
+                        keys=(), agg_func="rank_desc", agg_col=1),
+              _GPAF, 4, constants=(0,)))
+
+    # td05 — q98: brand revenue share within its category, ranked.
+    add(_task("td05_brand_share_in_category",
+              "Each brand's revenue share within its category, ranked "
+              "(q98 pattern).",
+              flat,
+              Partition(Arithmetic(
+                  Partition(Group(TableRef("sales_flat"), keys=(0, 1),
+                                  agg_func="sum", agg_col=5),
+                            keys=(0,), agg_func="sum", agg_col=2),
+                  func="percent", cols=(2, 3)),
+                  keys=(0,), agg_func="rank_desc", agg_col=4),
+              _GPA, 4))
+
+    # td06 — cumulative share of category revenue over months.
+    add(_task("td06_category_cumulative_share",
+              "Cumulative monthly revenue per category as % of the "
+              "category total.",
+              flat,
+              Arithmetic(
+                  Partition(Partition(Group(TableRef("sales_flat"),
+                                            keys=(0, 2), agg_func="sum",
+                                            agg_col=5),
+                                      keys=(0,), agg_func="cumsum",
+                                      agg_col=2),
+                            keys=(0,), agg_func="sum", agg_col=2),
+                  func="percent", cols=(3, 4)),
+              _GPA, 4))
+
+    # td07 — state share of total profit.
+    add(_task("td07_state_profit_share",
+              "Each state's share of total net profit (store join).",
+              (ss, store),
+              Arithmetic(
+                  Partition(Group(_ss_store(), keys=(7,), agg_func="sum",
+                                  agg_col=5),
+                            keys=(), agg_func="sum", agg_col=1),
+                  func="percent", cols=(1, 2)),
+              _GPA, 4))
+
+    # td08 — cumulative quarterly profit.
+    add(_task("td08_cumulative_quarterly_profit",
+              "Cumulative net profit over quarters (date join).",
+              (ss, date),
+              Partition(Sort(Group(_ss_date(), keys=(9,), agg_func="sum",
+                                   agg_col=5),
+                             cols=(0,), ascending=True),
+                        keys=(), agg_func="cumsum", agg_col=1),
+              _GPAS, 4))
+
+    # td09 — item classes ranked by average profit on bulk lines.
+    add(_task("td09_class_avg_profit_rank",
+              "Rank item classes by average net profit on multi-unit lines.",
+              (ss, item),
+              Partition(Group(Filter(_ss_item(), pred=ConstCmp(3, ">=", 2)),
+                              keys=(9,), agg_func="avg", agg_col=5),
+                        keys=(), agg_func="rank_desc", agg_col=1),
+              _GPAF, 4, constants=(2,)))
+
+    # td10 — q49-style per-unit profit ranking.
+    add(_task("td10_per_unit_profit_rank",
+              "Rank brands by average per-unit profit in the first quarter "
+              "months (q49 pattern).",
+              flat,
+              Partition(Group(Arithmetic(Filter(TableRef("sales_flat"),
+                                                pred=ConstCmp(2, "<=", 3)),
+                                         func="div", cols=(6, 4)),
+                              keys=(1,), agg_func="avg", agg_col=7),
+                        keys=(), agg_func="rank_desc", agg_col=1),
+              _GPAF, 4, constants=(3,)))
+
+    # td11 — states ranked by sales revenue on profitable lines.
+    add(_task("td11_state_sales_rank",
+              "Rank states by sales revenue over profitable lines.",
+              (ss, store),
+              Partition(Group(Filter(_ss_store(), pred=ConstCmp(5, ">", 0)),
+                              keys=(7,), agg_func="sum", agg_col=4),
+                        keys=(), agg_func="rank_desc", agg_col=1),
+              _GPAF, 4, constants=(0,)))
+
+    # td12 — list price vs category average (item join).
+    add(_task("td12_price_vs_category_avg",
+              "Each bulk sale's item list price minus the category's "
+              "average list price.",
+              (ss, item),
+              Arithmetic(Partition(Filter(_ss_item(),
+                                          pred=ConstCmp(3, ">=", 2)),
+                                   keys=(7,), agg_func="avg", agg_col=10),
+                         func="sub", cols=(10, 11)),
+              _GPAF, 4, constants=(2,)))
+
+    # td13–td16 — the two-join, many-column pipelines (the paper's unsolved
+    # class: "the input data has many columns, or the task requires join").
+    add(_task("td13_category_monthly_cumulative",
+              "Cumulative monthly sales per category (two joins).",
+              (ss, item, date),
+              Partition(Sort(Group(Join(_ss_item(), TableRef("date_dim"),
+                                        pred=ColCmp(0, "==", 11)),
+                                   keys=(7, 13), agg_func="sum", agg_col=4),
+                             cols=(1,), ascending=True),
+                        keys=(0,), agg_func="cumsum", agg_col=2),
+              _GPAS, 5))
+
+    add(_task("td14_category_state_profit_rank",
+              "Rank category × state cells by net profit (two joins).",
+              (ss, item, store),
+              Partition(Group(Join(_ss_item(), TableRef("store"),
+                                   pred=ColCmp(2, "==", 11)),
+                              keys=(7, 12), agg_func="sum", agg_col=5),
+                        keys=(0,), agg_func="rank_desc", agg_col=2),
+              _GPA, 4))
+
+    add(_task("td15_brand_monthly_vs_avg",
+              "Monthly brand sales minus brand monthly average (two joins).",
+              (ss, item, date),
+              Arithmetic(
+                  Partition(Group(Join(_ss_item(), TableRef("date_dim"),
+                                       pred=ColCmp(0, "==", 11)),
+                                  keys=(8, 13), agg_func="sum", agg_col=4),
+                            keys=(0,), agg_func="avg", agg_col=2),
+                  func="sub", cols=(2, 3)),
+              _GPA, 5))
+
+    add(_task("td16_state_monthly_share",
+              "Each state's monthly share of its total sales (two joins).",
+              (ss, date, store),
+              Arithmetic(
+                  Partition(Group(Join(_ss_date(), TableRef("store"),
+                                       pred=ColCmp(2, "==", 10)),
+                                  keys=(11, 8), agg_func="sum", agg_col=4),
+                            keys=(0,), agg_func="sum", agg_col=2),
+                  func="percent", cols=(2, 3)),
+              _GPA, 5))
+
+    # td17 — category share of quantity, ranked.
+    add(_task("td17_category_quantity_share_rank",
+              "Each category's share of units moved, ranked.",
+              flat,
+              Partition(Arithmetic(
+                  Partition(Group(TableRef("sales_flat"), keys=(0,),
+                                  agg_func="sum", agg_col=4),
+                            keys=(), agg_func="sum", agg_col=1),
+                  func="percent", cols=(1, 2)),
+                  keys=(), agg_func="rank_desc", agg_col=3),
+              _GPA, 4))
+
+    # td18 — q89: monthly category sales gap to the category's best month.
+    add(_task("td18_gap_to_best_month",
+              "Monthly category revenue gap to the category's best month, "
+              "ranked within the category (q89 pattern).",
+              flat,
+              Partition(Arithmetic(
+                  Partition(Group(TableRef("sales_flat"), keys=(0, 2),
+                                  agg_func="sum", agg_col=5),
+                            keys=(0,), agg_func="max", agg_col=2),
+                  func="sub", cols=(2, 3)),
+                  keys=(0,), agg_func="rank_desc", agg_col=4),
+              _GPA, 4))
+
+    # td19 — cumulative brand quantity share over months.
+    add(_task("td19_brand_cumulative_quantity_share",
+              "Cumulative monthly units per brand as % of the brand total.",
+              flat,
+              Arithmetic(
+                  Partition(Partition(Sort(Group(TableRef("sales_flat"),
+                                                 keys=(1, 2), agg_func="sum",
+                                                 agg_col=4),
+                                           cols=(1,), ascending=True),
+                                      keys=(0,), agg_func="cumsum",
+                                      agg_col=2),
+                            keys=(0,), agg_func="sum", agg_col=2),
+                  func="percent", cols=(3, 4)),
+              _GPAS, 5))
+
+    # td20 — electronics classes ranked by revenue.
+    add(_task("td20_electronics_class_revenue_rank",
+              "Within Electronics, rank item classes by sales revenue.",
+              (ss, item),
+              Partition(Group(Filter(_ss_item(),
+                                     pred=ConstCmp(7, "==", "Electronics")),
+                              keys=(9,), agg_func="sum", agg_col=4),
+                        keys=(), agg_func="rank_desc", agg_col=1),
+              _GPAF, 4, constants=("Electronics",)))
+
+    return tasks

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Sickle reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so callers
+can distinguish library failures from programming mistakes with a single
+``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class TableError(ReproError):
+    """Malformed table: ragged rows, bad column reference, type mismatch."""
+
+
+class SchemaError(TableError):
+    """Invalid schema definition (duplicate columns, bad key metadata)."""
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated on the given input tables."""
+
+
+class HoleError(EvaluationError):
+    """A concrete evaluator encountered an uninstantiated hole."""
+
+
+class ExpressionError(ReproError):
+    """Malformed provenance / demonstration expression."""
+
+
+class SynthesisError(ReproError):
+    """The synthesizer was configured inconsistently."""
+
+
+class BenchmarkError(ReproError):
+    """A benchmark task definition is internally inconsistent."""

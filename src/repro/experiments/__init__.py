@@ -1,0 +1,14 @@
+"""Experiment harness: reruns the paper's evaluation (§5.2).
+
+* :mod:`repro.experiments.runner` — per-task runs with timeouts and
+  statistics collection;
+* :mod:`repro.experiments.figures` — regenerates Figure 12 (solved vs time
+  limit) and Figure 13 (distribution of queries explored);
+* :mod:`repro.experiments.report` — Observation 1/2 summaries, ranking and
+  specification-size statistics;
+* :mod:`repro.experiments.cli` — ``python -m repro.experiments.cli``.
+"""
+
+from repro.experiments.runner import RunConfig, TaskResult, run_suite, run_task
+
+__all__ = ["RunConfig", "TaskResult", "run_task", "run_suite"]

@@ -1,0 +1,95 @@
+"""Command-line entry point for the experiment harness.
+
+Usage::
+
+    python -m repro.experiments.cli validate          # check all 80 tasks
+    python -m repro.experiments.cli summary           # suite statistics
+    python -m repro.experiments.cli run [options]     # run the sweep
+    python -m repro.experiments.cli fig12 [options]   # Figure 12 table
+    python -m repro.experiments.cli fig13 [options]   # Figure 13 table
+    python -m repro.experiments.cli report [options]  # Observations 1-2
+
+Options: ``--suite forum|tpcds``, ``--difficulty easy|hard``,
+``--techniques provenance,value,type``, ``--easy-timeout S``,
+``--hard-timeout S``, ``--tasks name1,name2``, ``--csv FILE``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.benchmarks import all_tasks, task_summary, validate_task
+from repro.experiments.figures import fig12_table, fig13_table, results_csv
+from repro.experiments.report import observation_report
+from repro.experiments.runner import RunConfig, run_suite
+
+
+def _select_tasks(args) -> list:
+    tasks = list(all_tasks())
+    if args.suite:
+        tasks = [t for t in tasks if t.suite == args.suite]
+    if args.difficulty:
+        tasks = [t for t in tasks if t.difficulty == args.difficulty]
+    if args.tasks:
+        wanted = set(args.tasks.split(","))
+        tasks = [t for t in tasks if t.name in wanted]
+    return tasks
+
+
+def _run(args):
+    tasks = _select_tasks(args)
+    techniques = tuple(args.techniques.split(","))
+    config = RunConfig(easy_timeout_s=args.easy_timeout,
+                       hard_timeout_s=args.hard_timeout)
+
+    def progress(result):
+        status = "solved" if result.solved else "timeout"
+        print(f"[{result.technique:10s}] {result.task:42s} {status:8s} "
+              f"{result.time_s:7.2f}s visited={result.visited}",
+              file=sys.stderr, flush=True)
+
+    return run_suite(tasks, techniques, config, progress=progress)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="repro.experiments")
+    parser.add_argument("command", choices=(
+        "validate", "summary", "run", "fig12", "fig13", "report"))
+    parser.add_argument("--suite", choices=("forum", "tpcds"))
+    parser.add_argument("--difficulty", choices=("easy", "hard"))
+    parser.add_argument("--tasks", help="comma-separated task names")
+    parser.add_argument("--techniques", default="provenance,value,type")
+    parser.add_argument("--easy-timeout", type=float,
+                        default=RunConfig().easy_timeout_s)
+    parser.add_argument("--hard-timeout", type=float,
+                        default=RunConfig().hard_timeout_s)
+    parser.add_argument("--csv", help="write raw per-run results to FILE")
+    args = parser.parse_args(argv)
+
+    if args.command == "validate":
+        for task in _select_tasks(args):
+            validate_task(task)
+            print(f"ok {task.name}")
+        return 0
+
+    if args.command == "summary":
+        print(json.dumps(task_summary(), indent=2))
+        return 0
+
+    results = _run(args)
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as fh:
+            fh.write(results_csv(results))
+    if args.command == "fig12":
+        print(fig12_table(results))
+    elif args.command == "fig13":
+        print(fig13_table(results))
+    else:
+        print(observation_report(results))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

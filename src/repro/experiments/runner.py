@@ -1,0 +1,108 @@
+"""Per-task experiment runs (§5.2 protocol).
+
+"For each benchmark (T̄, E, q_gt), we run Sickle and two baselines with a
+timeout ...  The synthesizer runs until the correct query q_gt is found.  We
+record (1) time each technique takes to solve the tasks, and (2) the number
+of consistent queries encountered."
+
+Wall-clock budgets are environment-tunable because absolute numbers are
+hardware-bound (the paper used 600 s; pure Python needs humbler defaults):
+
+* ``REPRO_TIMEOUT_EASY``  — seconds per easy task (default 6)
+* ``REPRO_TIMEOUT_HARD``  — seconds per hard task (default 15)
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.benchmarks.task import BenchmarkTask
+from repro.synthesis.equivalence import same_output
+from repro.synthesis.ranking import rank_queries
+from repro.synthesis.synthesizer import Synthesizer
+
+DEFAULT_EASY_TIMEOUT = float(os.environ.get("REPRO_TIMEOUT_EASY", "6"))
+DEFAULT_HARD_TIMEOUT = float(os.environ.get("REPRO_TIMEOUT_HARD", "15"))
+
+TECHNIQUES = ("provenance", "value", "type")
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Budgets for one experiment sweep."""
+
+    easy_timeout_s: float = DEFAULT_EASY_TIMEOUT
+    hard_timeout_s: float = DEFAULT_HARD_TIMEOUT
+    max_visited: int | None = None
+
+    def timeout_for(self, task: BenchmarkTask) -> float:
+        return (self.easy_timeout_s if task.difficulty == "easy"
+                else self.hard_timeout_s)
+
+
+@dataclass
+class TaskResult:
+    """One (task, technique) measurement."""
+
+    task: str
+    suite: str
+    difficulty: str
+    technique: str
+    solved: bool
+    time_s: float
+    visited: int
+    pruned: int
+    concrete_checked: int
+    consistent_found: int
+    timed_out: bool
+    rank: int | None            # size-rank of q_gt among consistent queries
+    demo_cells: int
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+def run_task(task: BenchmarkTask, technique: str,
+             run_config: RunConfig | None = None) -> TaskResult:
+    """Run one technique on one task until q_gt is found or timeout."""
+    run_config = run_config or RunConfig()
+    config = task.config.replace(timeout_s=run_config.timeout_for(task),
+                                 max_visited=run_config.max_visited)
+    synthesizer = Synthesizer(technique, config)
+    synthesizer.reset()  # cold caches: each measurement is independent
+
+    env = task.env
+    gt = task.ground_truth
+    result = synthesizer.run(task.tables, task.demonstration,
+                             stop_predicate=lambda q: same_output(q, gt, env))
+
+    rank = None
+    if result.target is not None:
+        ranked = rank_queries(result.queries)
+        rank = next((i for i, q in enumerate(ranked, start=1)
+                     if q == result.target), None)
+
+    stats = result.stats
+    return TaskResult(
+        task=task.name, suite=task.suite, difficulty=task.difficulty,
+        technique=technique, solved=result.target is not None,
+        time_s=stats.elapsed_s, visited=stats.visited, pruned=stats.pruned,
+        concrete_checked=stats.concrete_checked,
+        consistent_found=stats.consistent_found, timed_out=stats.timed_out,
+        rank=rank, demo_cells=task.demonstration.size)
+
+
+def run_suite(tasks, techniques=TECHNIQUES,
+              run_config: RunConfig | None = None,
+              progress=None) -> list[TaskResult]:
+    """Run a technique sweep over a task list."""
+    run_config = run_config or RunConfig()
+    results: list[TaskResult] = []
+    for task in tasks:
+        for technique in techniques:
+            outcome = run_task(task, technique, run_config)
+            results.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    return results

@@ -1,0 +1,22 @@
+"""Disambiguation of synthesized candidates (paper §3.2 *Remarks*, §7).
+
+A demonstration is an incomplete specification, so several queries may be
+consistent with it.  The paper envisions pairing the synthesizer "with
+existing program disambiguation frameworks"; this package implements the
+standard mechanism: find where candidate outputs *differ* and ask the user
+(or pick more-representative inputs) to split the candidate set.
+"""
+
+from repro.interaction.disambiguate import (
+    DistinguishingCell,
+    disambiguate_interactively,
+    distinguishing_cells,
+    partition_candidates,
+)
+
+__all__ = [
+    "DistinguishingCell",
+    "distinguishing_cells",
+    "partition_candidates",
+    "disambiguate_interactively",
+]

@@ -1,0 +1,137 @@
+"""Candidate disambiguation by distinguishing outputs.
+
+Given several demonstration-consistent queries, evaluate them all and find
+*distinguishing cells*: output positions (keyed by the values of shared
+identifying columns) where candidates disagree.  Each answer to "which of
+these values is right?" partitions the candidate set; a greedy loop picks
+the most-splitting question first, mirroring classic PBE disambiguation
+(§6's interaction-model citations).
+
+Everything works on concrete outputs, so the mechanism is independent of
+how candidates were produced.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.lang.ast import Env, Query
+from repro.semantics.concrete import evaluate
+from repro.synthesis.equivalence import tables_equivalent
+from repro.table.values import Value, canonical
+
+
+@dataclass(frozen=True)
+class DistinguishingCell:
+    """One question to the user: which value belongs at this position?
+
+    ``options`` maps each candidate value to the candidate queries that
+    produce it; asking the question and getting value ``v`` keeps exactly
+    ``options[v]``.
+    """
+
+    row: int                       # row index in the first candidate's output
+    col: int                       # column index in the first candidate's output
+    options: tuple[tuple[Value, tuple[int, ...]], ...]  # value -> candidate ids
+
+    @property
+    def split_sizes(self) -> tuple[int, ...]:
+        return tuple(len(ids) for _, ids in self.options)
+
+
+def _grids(queries: Sequence[Query], env: Env):
+    grids = []
+    for q in queries:
+        try:
+            grids.append(evaluate(q, env))
+        except Exception:
+            grids.append(None)
+    return grids
+
+
+def partition_candidates(queries: Sequence[Query], env: Env) -> list[list[int]]:
+    """Group candidate indices by output equivalence.
+
+    Queries in one class are observationally identical on ``env`` — no demo
+    or question over this data can tell them apart.
+    """
+    grids = _grids(queries, env)
+    classes: list[tuple[object, list[int]]] = []
+    for i, out in enumerate(grids):
+        for rep, members in classes:
+            if out is not None and rep is not None \
+                    and tables_equivalent(rep, out) \
+                    and tables_equivalent(out, rep):
+                members.append(i)
+                break
+        else:
+            classes.append((out, [i]))
+    return [members for _, members in classes]
+
+
+def distinguishing_cells(queries: Sequence[Query], env: Env,
+                         max_cells: int = 10) -> list[DistinguishingCell]:
+    """Output positions on which candidates disagree, best splitters first.
+
+    Positions are taken from the first candidate's output grid; other
+    candidates are compared cell-wise where their shapes allow.  Cells are
+    ranked by how evenly they split the candidate set (more balance = more
+    information per question).
+    """
+    grids = _grids(queries, env)
+    base = grids[0]
+    if base is None:
+        return []
+    cells: list[DistinguishingCell] = []
+    for i in range(base.n_rows):
+        for j in range(base.n_cols):
+            by_value: dict[object, list[int]] = defaultdict(list)
+            for q_id, out in enumerate(grids):
+                if out is None or i >= out.n_rows or j >= out.n_cols:
+                    by_value[("<no cell>",)].append(q_id)
+                else:
+                    by_value[canonical(out.cell(i, j))].append(q_id)
+            if len(by_value) < 2:
+                continue
+            options = tuple(sorted(
+                ((value, tuple(ids)) for value, ids in by_value.items()),
+                key=lambda item: (-len(item[1]), repr(item[0]))))
+            cells.append(DistinguishingCell(i, j, options))
+    # Most balanced splits first: minimize the size of the largest class.
+    cells.sort(key=lambda c: (max(c.split_sizes), -len(c.options)))
+    return cells[:max_cells]
+
+
+def disambiguate_interactively(
+        queries: Sequence[Query], env: Env,
+        oracle: Callable[[DistinguishingCell], Value],
+        max_rounds: int = 10) -> list[int]:
+    """Run the greedy question loop against an answer oracle.
+
+    ``oracle`` plays the user: given a distinguishing cell, it returns the
+    correct value.  Returns the surviving candidate indices (all
+    observationally equivalent once no distinguishing cell remains).
+    """
+    alive = list(range(len(queries)))
+    for _ in range(max_rounds):
+        subset = [queries[i] for i in alive]
+        cells = distinguishing_cells(subset, env, max_cells=1)
+        if not cells:
+            break
+        cell = cells[0]
+        answer = canonical(oracle(cell))
+        surviving: list[int] = []
+        for value, ids in cell.options:
+            matched = value == answer if not isinstance(value, tuple) \
+                else False
+            if matched:
+                surviving = [alive[i] for i in ids]
+                break
+        if not surviving:
+            break  # the oracle named a value no candidate produces
+        alive = surviving
+        if len(alive) == 1:
+            break
+    return alive

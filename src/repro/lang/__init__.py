@@ -1,0 +1,54 @@
+"""The analytical SQL language L_SQL (paper Fig. 7).
+
+Queries are immutable trees of operator nodes; partial queries contain
+:class:`~repro.lang.holes.Hole` markers in parameter positions.  Function
+registries define the aggregate (α), analytic (α′) and arithmetic (γ)
+vocabularies shared by the evaluators and the synthesizer.
+"""
+
+from repro.lang.ast import (
+    Arithmetic,
+    Env,
+    Filter,
+    Group,
+    Join,
+    LeftJoin,
+    Partition,
+    Proj,
+    Query,
+    Sort,
+    TableRef,
+)
+from repro.lang.functions import (
+    AGGREGATE_FUNCTIONS,
+    ANALYTIC_FUNCTIONS,
+    ARITHMETIC_FUNCTIONS,
+    FUNCTIONS,
+    analytic_spec,
+    apply_function,
+    function_spec,
+)
+from repro.lang.holes import Hole, fill_first_hole, first_hole, holes_of, is_concrete
+from repro.lang.predicates import (
+    AndPred,
+    ColCmp,
+    ConstCmp,
+    FalsePred,
+    Predicate,
+    TruePred,
+)
+from repro.lang.size import operator_count, query_depth
+from repro.lang.sql_render import to_sql
+from repro.lang.instruction import to_instructions
+from repro.lang.parser import ParseError, parse_instructions
+
+__all__ = [
+    "Query", "TableRef", "Filter", "Join", "LeftJoin", "Proj", "Sort",
+    "Group", "Partition", "Arithmetic", "Env",
+    "Hole", "holes_of", "first_hole", "fill_first_hole", "is_concrete",
+    "Predicate", "TruePred", "FalsePred", "ColCmp", "ConstCmp", "AndPred",
+    "FUNCTIONS", "AGGREGATE_FUNCTIONS", "ANALYTIC_FUNCTIONS",
+    "ARITHMETIC_FUNCTIONS", "function_spec", "analytic_spec", "apply_function",
+    "operator_count", "query_depth", "to_sql", "to_instructions",
+    "parse_instructions", "ParseError",
+]

@@ -1,0 +1,222 @@
+"""Function registries: aggregates (α), analytic functions (α′), arithmetic (γ).
+
+Paper Fig. 7 fixes the vocabularies::
+
+    α  ← sum | avg | max | min | count
+    α′ ← α | dense_rank | rank | cumsum
+    op ← < | ≤ | == | > | ≥
+
+We add descending rank variants and cumulative max/min as extension features
+(disabled in the default synthesis domain, exercised by ablation benches).
+
+Three facts about a function drive the rest of the system:
+
+* ``arg_style`` — how demonstration arguments match tracked arguments in the
+  ≺ judgment (Fig. 10): ``commutative`` (multiset matching), ``positional``
+  (subsequence matching for partial expressions), or ``ranked`` (first
+  argument positional — the ranked row — remaining arguments a multiset);
+* ``flattenable`` — whether nested applications collapse
+  (``f(f(a,b),c) → f(a,b,c)``, valid for sum/max/min, §3.1);
+* ``apply`` — concrete evaluation, used by both evaluators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.errors import ExpressionError
+from repro.table.values import Value, value_eq, value_sort_key
+
+
+def _mean(args: Sequence[Value]) -> Value:
+    nums = [a for a in args if a is not None]
+    if not nums:
+        return None
+    return sum(nums) / len(nums)
+
+
+def _sum(args: Sequence[Value]) -> Value:
+    nums = [a for a in args if a is not None]
+    return sum(nums) if nums else 0
+
+
+def _max(args: Sequence[Value]) -> Value:
+    nums = [a for a in args if a is not None]
+    return max(nums, key=value_sort_key) if nums else None
+
+
+def _min(args: Sequence[Value]) -> Value:
+    nums = [a for a in args if a is not None]
+    return min(nums, key=value_sort_key) if nums else None
+
+
+def _count(args: Sequence[Value]) -> Value:
+    return sum(1 for a in args if a is not None)
+
+
+def _rank(args: Sequence[Value], descending: bool, dense: bool) -> Value:
+    """Competition / dense rank of ``args[0]`` among ``args[1:]``."""
+    if not args:
+        raise ExpressionError("rank needs at least the ranked value")
+    own, pool = args[0], list(args[1:])
+    if descending:
+        better = [v for v in pool if v is not None and value_sort_key(v) > value_sort_key(own)]
+    else:
+        better = [v for v in pool if v is not None and value_sort_key(v) < value_sort_key(own)]
+    if not dense:
+        return 1 + len(better)
+    distinct: list[Value] = []
+    for v in better:
+        if not any(value_eq(v, seen) for seen in distinct):
+            distinct.append(v)
+    return 1 + len(distinct)
+
+
+def _safe_div(x: Value, y: Value) -> Value:
+    if x is None or y is None or y == 0:
+        return None
+    return x / y
+
+
+def _binary(fn: Callable[[Value, Value], Value]) -> Callable[[Sequence[Value]], Value]:
+    def apply(args: Sequence[Value]) -> Value:
+        if len(args) != 2:
+            raise ExpressionError(f"expected 2 arguments, got {len(args)}")
+        if args[0] is None or args[1] is None:
+            return None
+        return fn(args[0], args[1])
+    return apply
+
+
+@dataclass(frozen=True)
+class FunctionSpec:
+    """Everything the evaluators and matcher need to know about a function."""
+
+    name: str
+    kind: str                   # "aggregate" | "ranker" | "arithmetic"
+    arg_style: str              # "commutative" | "positional" | "ranked"
+    arity: int | None           # None = variadic
+    flattenable: bool
+    apply: Callable[[Sequence[Value]], Value]
+    sql: str | None = None      # render template, {0}/{1} are argument slots
+
+    @property
+    def commutative(self) -> bool:
+        return self.arg_style == "commutative"
+
+
+_AGGREGATES = [
+    FunctionSpec("sum", "aggregate", "commutative", None, True, _sum),
+    FunctionSpec("avg", "aggregate", "commutative", None, False, _mean),
+    FunctionSpec("max", "aggregate", "commutative", None, True, _max),
+    FunctionSpec("min", "aggregate", "commutative", None, True, _min),
+    FunctionSpec("count", "aggregate", "commutative", None, False, _count),
+]
+
+_RANKERS = [
+    FunctionSpec("rank", "ranker", "ranked", None, False,
+                 lambda a: _rank(a, descending=False, dense=False)),
+    FunctionSpec("dense_rank", "ranker", "ranked", None, False,
+                 lambda a: _rank(a, descending=False, dense=True)),
+    FunctionSpec("rank_desc", "ranker", "ranked", None, False,
+                 lambda a: _rank(a, descending=True, dense=False)),
+    FunctionSpec("dense_rank_desc", "ranker", "ranked", None, False,
+                 lambda a: _rank(a, descending=True, dense=True)),
+]
+
+_ARITHMETIC = [
+    FunctionSpec("add", "arithmetic", "commutative", 2, False,
+                 _binary(lambda x, y: x + y), sql="{0} + {1}"),
+    FunctionSpec("sub", "arithmetic", "positional", 2, False,
+                 _binary(lambda x, y: x - y), sql="{0} - {1}"),
+    FunctionSpec("mul", "arithmetic", "commutative", 2, False,
+                 _binary(lambda x, y: x * y), sql="{0} * {1}"),
+    FunctionSpec("div", "arithmetic", "positional", 2, False,
+                 _binary(_safe_div), sql="{0} / {1}"),
+    FunctionSpec("percent", "arithmetic", "positional", 2, False,
+                 _binary(lambda x, y: _safe_div(x, y) * 100
+                         if _safe_div(x, y) is not None else None),
+                 sql="{0} / {1} * 100"),
+    FunctionSpec("pct_change", "arithmetic", "positional", 2, False,
+                 _binary(lambda x, y: _safe_div(x - y, y) * 100
+                         if _safe_div(x - y, y) is not None else None),
+                 sql="({0} - {1}) / {1} * 100"),
+]
+
+FUNCTIONS: dict[str, FunctionSpec] = {
+    spec.name: spec for spec in _AGGREGATES + _RANKERS + _ARITHMETIC}
+
+AGGREGATE_FUNCTIONS: tuple[str, ...] = tuple(s.name for s in _AGGREGATES)
+ARITHMETIC_FUNCTIONS: tuple[str, ...] = tuple(s.name for s in _ARITHMETIC)
+
+
+def function_spec(name: str) -> FunctionSpec:
+    try:
+        return FUNCTIONS[name]
+    except KeyError:
+        raise ExpressionError(f"unknown function {name!r}") from None
+
+
+def apply_function(name: str, args: Sequence[Value]) -> Value:
+    return function_spec(name).apply(args)
+
+
+# --------------------------------------------------------------------------
+# Analytic (window) functions: how a partition-aggregation computes one value
+# per row.  ``term_name`` is the FuncApp constructor used in provenance
+# expressions; ``row_args(items, i)`` selects, from the group's items in table
+# order, the arguments feeding row ``i``'s value.  The same selector is used
+# with concrete values (evaluation) and provenance expressions (tracking).
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class AnalyticSpec:
+    name: str
+    term_name: str
+    row_args: Callable[[Sequence, int], tuple]
+    order_dependent: bool
+
+
+def _all_rows(items: Sequence, _i: int) -> tuple:
+    return tuple(items)
+
+
+def _prefix(items: Sequence, i: int) -> tuple:
+    return tuple(items[: i + 1])
+
+
+def _ranked(items: Sequence, i: int) -> tuple:
+    return (items[i], *items)
+
+
+_ANALYTICS = [
+    # Plain aggregates used as window functions: every row sees the group total.
+    *[AnalyticSpec(name, name, _all_rows, order_dependent=False)
+      for name in AGGREGATE_FUNCTIONS],
+    AnalyticSpec("cumsum", "sum", _prefix, order_dependent=True),
+    AnalyticSpec("cummax", "max", _prefix, order_dependent=True),
+    AnalyticSpec("cummin", "min", _prefix, order_dependent=True),
+    AnalyticSpec("cumavg", "avg", _prefix, order_dependent=True),
+    *[AnalyticSpec(name, name, _ranked, order_dependent=False)
+      for name in ("rank", "dense_rank", "rank_desc", "dense_rank_desc")],
+]
+
+ANALYTIC_SPECS: dict[str, AnalyticSpec] = {spec.name: spec for spec in _ANALYTICS}
+
+# The paper's α′ vocabulary (plus descending ranks, which several TPC-DS
+# style tasks need); the cumulative max/min/avg extensions are opt-in.
+ANALYTIC_FUNCTIONS: tuple[str, ...] = (
+    *AGGREGATE_FUNCTIONS, "cumsum", "rank", "dense_rank",
+    "rank_desc", "dense_rank_desc",
+)
+EXTENDED_ANALYTIC_FUNCTIONS: tuple[str, ...] = (
+    *ANALYTIC_FUNCTIONS, "cummax", "cummin", "cumavg",
+)
+
+
+def analytic_spec(name: str) -> AnalyticSpec:
+    try:
+        return ANALYTIC_SPECS[name]
+    except KeyError:
+        raise ExpressionError(f"unknown analytic function {name!r}") from None

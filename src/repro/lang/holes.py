@@ -1,0 +1,103 @@
+"""Holes — the unfilled parameters of partial queries.
+
+A query skeleton (Alg. 1, line 4) is an operator tree whose parameters are
+all holes; the enumerator repeatedly picks the *next* hole and branches on
+its domain.  Holes are selected in post-order (deepest subquery first) so
+that by the time a node's parameters are instantiated its child is concrete —
+this is what lets the abstract analyzer climb the weak → medium → strong
+precision ladder (Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lang.ast import Query
+
+
+@dataclass(frozen=True)
+class Hole:
+    """An unfilled parameter; ``kind`` names the parameter family."""
+
+    kind: str
+
+    def __str__(self) -> str:
+        return f"□{self.kind}"
+
+
+def is_hole(value: object) -> bool:
+    return isinstance(value, Hole)
+
+
+# A hole position: path of child indices from the root, then the field name.
+HolePosition = tuple[tuple[int, ...], str]
+
+
+def holes_of(query: "Query") -> list[HolePosition]:
+    """All hole positions in post-order (children first, then own fields)."""
+    found: list[HolePosition] = []
+
+    def visit(node: "Query", path: tuple[int, ...]) -> None:
+        for i, child in enumerate(node.child_queries()):
+            visit(child, path + (i,))
+        for field in node.param_fields():
+            if is_hole(getattr(node, field)):
+                found.append((path, field))
+
+    visit(query, ())
+    return found
+
+
+def first_hole(query: "Query") -> HolePosition | None:
+    """The next hole the enumerator should instantiate, or ``None``."""
+
+    def visit(node: "Query", path: tuple[int, ...]) -> HolePosition | None:
+        for i, child in enumerate(node.child_queries()):
+            found = visit(child, path + (i,))
+            if found is not None:
+                return found
+        for field in node.param_fields():
+            if is_hole(getattr(node, field)):
+                return (path, field)
+        return None
+
+    return visit(query, ())
+
+
+def is_concrete(query: "Query") -> bool:
+    """True when the query contains no holes (early-exit traversal)."""
+    for field in query.param_fields():
+        if is_hole(getattr(query, field)):
+            return False
+    return all(is_concrete(child) for child in query.child_queries())
+
+
+def node_at(query: "Query", path: tuple[int, ...]) -> "Query":
+    node = query
+    for i in path:
+        node = node.child_queries()[i]
+    return node
+
+
+def fill(query: "Query", position: HolePosition, value: object) -> "Query":
+    """Return a copy of ``query`` with the hole at ``position`` filled."""
+    path, field = position
+
+    def rebuild(node: "Query", depth: int) -> "Query":
+        if depth == len(path):
+            return node.with_params(**{field: value})
+        children = list(node.child_queries())
+        idx = path[depth]
+        children[idx] = rebuild(children[idx], depth + 1)
+        return node.with_children(tuple(children))
+
+    return rebuild(query, 0)
+
+
+def fill_first_hole(query: "Query", value: object) -> "Query":
+    position = first_hole(query)
+    if position is None:
+        raise ValueError("query has no holes")
+    return fill(query, position, value)

@@ -1,0 +1,93 @@
+"""Instruction-style rendering (paper §2.2).
+
+The paper displays queries as straight-line instructions::
+
+    t1 <- group(T, [City, Quarter, Population], sum, Enrolled)
+    t2 <- partition(t1, [City], cumsum, C1)
+    t3 <- arithmetic(t2, percent, [C2, Population])
+
+Partial queries render with ``□`` for holes, matching the search-tree figures.
+"""
+
+from __future__ import annotations
+
+from repro.lang import ast
+from repro.lang.holes import Hole
+from repro.lang.naming import output_columns
+from repro.lang.predicates import Predicate
+
+
+def _fmt_cols(cols, names: list[str] | None) -> str:
+    if isinstance(cols, Hole):
+        return "□"
+    if names is None:
+        return "[" + ", ".join(f"c{c}" for c in cols) + "]"
+    return "[" + ", ".join(names[c] for c in cols) + "]"
+
+
+def _fmt_col(col, names: list[str] | None) -> str:
+    if isinstance(col, Hole):
+        return "□"
+    if names is None:
+        return f"c{col}"
+    return names[col]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, Hole):
+        return "□"
+    if isinstance(value, Predicate):
+        return str(value)
+    return str(value)
+
+
+def to_instructions(query: ast.Query, env: ast.Env | None = None) -> str:
+    """Render a (possibly partial) query as instruction lines."""
+    lines: list[str] = []
+    counter = [0]
+
+    def names_for(node: ast.Query) -> list[str] | None:
+        if env is None:
+            return None
+        try:
+            return output_columns(node, env)
+        except Exception:
+            return None
+
+    def visit(node: ast.Query) -> str:
+        if isinstance(node, ast.TableRef):
+            return node.name
+        child_ids = [visit(c) for c in node.child_queries()]
+        counter[0] += 1
+        out = f"t{counter[0]}"
+        child_names = names_for(node.child_queries()[0]) if node.child_queries() else None
+
+        if isinstance(node, ast.Filter):
+            body = f"filter({child_ids[0]}, {_fmt(node.pred)})"
+        elif isinstance(node, ast.Join):
+            pred = "" if node.pred is None else f", {_fmt(node.pred)}"
+            body = f"join({child_ids[0]}, {child_ids[1]}{pred})"
+        elif isinstance(node, ast.LeftJoin):
+            body = f"left_join({child_ids[0]}, {child_ids[1]}, {_fmt(node.pred)})"
+        elif isinstance(node, ast.Proj):
+            body = f"proj({child_ids[0]}, {_fmt_cols(node.cols, child_names)})"
+        elif isinstance(node, ast.Sort):
+            direction = "□" if isinstance(node.ascending, Hole) else (
+                "asc" if node.ascending else "desc")
+            body = f"sort({child_ids[0]}, {_fmt_cols(node.cols, child_names)}, {direction})"
+        elif isinstance(node, ast.Group):
+            body = (f"group({child_ids[0]}, {_fmt_cols(node.keys, child_names)}, "
+                    f"{_fmt(node.agg_func)}, {_fmt_col(node.agg_col, child_names)})")
+        elif isinstance(node, ast.Partition):
+            body = (f"partition({child_ids[0]}, {_fmt_cols(node.keys, child_names)}, "
+                    f"{_fmt(node.agg_func)}, {_fmt_col(node.agg_col, child_names)})")
+        elif isinstance(node, ast.Arithmetic):
+            body = (f"arithmetic({child_ids[0]}, {_fmt(node.func)}, "
+                    f"{_fmt_cols(node.cols, child_names)})")
+        else:
+            body = f"{node.operator_name()}({', '.join(child_ids)})"
+        lines.append(f"{out} <- {body}")
+        return out
+
+    visit(query)
+    return "\n".join(lines)

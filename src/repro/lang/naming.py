@@ -1,0 +1,75 @@
+"""Output column naming, shared by the evaluators and the renderers.
+
+Keeping the naming rules in one module guarantees that the SQL renderer, the
+instruction renderer and the concrete evaluator agree on the schema of every
+intermediate result.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EvaluationError, HoleError
+from repro.lang import ast
+from repro.lang.holes import Hole
+
+
+def fresh_name(base: str, existing: list[str]) -> str:
+    """``base``, suffixed with a counter if it clashes with ``existing``."""
+    if base not in existing:
+        return base
+    k = 2
+    while f"{base}_{k}" in existing:
+        k += 1
+    return f"{base}_{k}"
+
+
+def joined_columns(left: list[str], right: list[str]) -> list[str]:
+    """Column names of a join output; right-hand clashes get suffixed."""
+    out = list(left)
+    for name in right:
+        out.append(fresh_name(name, out))
+    return out
+
+
+def output_columns(query: ast.Query, env: ast.Env) -> list[str]:
+    """Column names of a *concrete* query's output."""
+    if isinstance(query, ast.TableRef):
+        return list(env.get(query.name).columns)
+    if isinstance(query, (ast.Filter, ast.Sort)):
+        return output_columns(query.child, env)
+    if isinstance(query, (ast.Join, ast.LeftJoin)):
+        return joined_columns(output_columns(query.left, env),
+                              output_columns(query.right, env))
+    if isinstance(query, ast.Proj):
+        if isinstance(query.cols, Hole):
+            raise HoleError("cannot name the output of a partial proj")
+        child = output_columns(query.child, env)
+        names: list[str] = []
+        for c in query.cols:
+            names.append(fresh_name(child[c], names))
+        return names
+    if isinstance(query, ast.Group):
+        if isinstance(query.keys, Hole) or isinstance(query.agg_col, Hole) \
+                or isinstance(query.agg_func, Hole):
+            raise HoleError("cannot name the output of a partial group")
+        child = output_columns(query.child, env)
+        names = []
+        for key_col in query.keys:
+            names.append(fresh_name(child[key_col], names))
+        base = query.alias or f"{query.agg_func}_{child[query.agg_col]}"
+        names.append(fresh_name(base, names))
+        return names
+    if isinstance(query, ast.Partition):
+        if isinstance(query.agg_col, Hole) or isinstance(query.agg_func, Hole):
+            raise HoleError("cannot name the output of a partial partition")
+        names = list(output_columns(query.child, env))
+        base = query.alias or f"{query.agg_func}_{names[query.agg_col]}"
+        names.append(fresh_name(base, names))
+        return names
+    if isinstance(query, ast.Arithmetic):
+        if isinstance(query.cols, Hole) or isinstance(query.func, Hole):
+            raise HoleError("cannot name the output of a partial arithmetic")
+        names = list(output_columns(query.child, env))
+        base = query.alias or f"{query.func}({', '.join(names[c] for c in query.cols)})"
+        names.append(fresh_name(base, names))
+        return names
+    raise EvaluationError(f"unknown query node {type(query).__name__}")

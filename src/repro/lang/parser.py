@@ -1,0 +1,246 @@
+"""Parser for the instruction-style query syntax.
+
+Round-trips with :func:`repro.lang.instruction.to_instructions` when column
+indices are used, and also accepts column *names* resolved against an
+environment — convenient for writing ground-truth queries and for tests::
+
+    q = parse_instructions('''
+        t1 <- group(T, [City, Quarter], sum, Enrolled)
+        t2 <- partition(t1, [City], cumsum, c2)
+        t3 <- arithmetic(t2, percent, [c3, c1])
+    ''', env)
+
+Grammar (one instruction per line)::
+
+    line  ::= NAME "<-" op
+    op    ::= "group"      "(" ref "," cols "," func "," col ")"
+            | "partition"  "(" ref "," cols "," func "," col ")"
+            | "arithmetic" "(" ref "," func "," cols ")"
+            | "filter"     "(" ref "," pred ")"
+            | "sort"       "(" ref "," cols "," ("asc"|"desc") ")"
+            | "proj"       "(" ref "," cols ")"
+            | "join"       "(" ref "," ref ["," pred] ")"
+            | "left_join"  "(" ref "," ref "," pred ")"
+    cols  ::= "[" col ("," col)* "]" | "[]"
+    col   ::= "c" INT | NAME
+    pred  ::= col OP col | col OP literal      (OP in < <= == > >= !=)
+    ref   ::= NAME                              (a table or earlier t_i)
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import ReproError
+from repro.lang import ast
+from repro.lang.functions import FUNCTIONS
+from repro.lang.naming import output_columns
+from repro.lang.predicates import ColCmp, ConstCmp, Predicate
+
+_LINE = re.compile(r"^\s*(\w+)\s*<-\s*(\w+)\s*\((.*)\)\s*$")
+_PRED = re.compile(r"^\s*(\S+)\s*(<=|>=|==|!=|<|>)\s*(\S+)\s*$")
+
+
+class ParseError(ReproError):
+    """Malformed instruction text."""
+
+
+def _split_args(text: str) -> list[str]:
+    """Split on top-level commas (brackets may nest)."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch in "[(":
+            depth += 1
+        elif ch in "])":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_literal(text: str):
+    if text.startswith(("'", '"')) and text.endswith(text[0]) and len(text) >= 2:
+        return text[1:-1]
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+class _Parser:
+    def __init__(self, env: ast.Env | None) -> None:
+        self.env = env
+        self.defined: dict[str, ast.Query] = {}
+
+    # ------------------------------------------------------------ resolution
+    def _resolve_ref(self, name: str) -> ast.Query:
+        if name in self.defined:
+            return self.defined[name]
+        if self.env is not None:
+            try:
+                self.env.get(name)
+            except Exception:
+                raise ParseError(f"unknown table or intermediate {name!r}")
+        return ast.TableRef(name)
+
+    def _columns_of(self, query: ast.Query) -> list[str] | None:
+        if self.env is None:
+            return None
+        try:
+            return output_columns(query, self.env)
+        except Exception:
+            return None
+
+    def _resolve_col(self, token: str, child: ast.Query) -> int:
+        token = token.strip()
+        if re.fullmatch(r"c\d+", token):
+            return int(token[1:])
+        if token.isdigit():
+            return int(token)
+        names = self._columns_of(child)
+        if names is None:
+            raise ParseError(
+                f"column name {token!r} needs an environment to resolve")
+        try:
+            return names.index(token)
+        except ValueError:
+            raise ParseError(
+                f"no column named {token!r}; have {names}") from None
+
+    def _resolve_cols(self, token: str, child: ast.Query) -> tuple[int, ...]:
+        token = token.strip()
+        if not (token.startswith("[") and token.endswith("]")):
+            raise ParseError(f"expected a [col, ...] list, got {token!r}")
+        inner = token[1:-1].strip()
+        if not inner:
+            return ()
+        return tuple(self._resolve_col(part, child)
+                     for part in _split_args(inner))
+
+    def _resolve_pred(self, token: str, child: ast.Query) -> Predicate:
+        match = _PRED.match(token)
+        if not match:
+            raise ParseError(f"cannot parse predicate {token!r}")
+        left, op, right = match.groups()
+        left_col = self._resolve_col(left, child)
+        # Bare numbers / quoted strings are literals; ``c<i>`` or a known
+        # column name is a column reference.
+        if not re.fullmatch(r"-?\d+(\.\d+)?", right) \
+                and not right.startswith(("'", '"')):
+            try:
+                return ColCmp(left_col, op, self._resolve_col(right, child))
+            except ParseError:
+                pass
+        literal = _parse_literal(right)
+        if literal is None:
+            raise ParseError(f"cannot parse comparison operand {right!r}")
+        return ConstCmp(left_col, op, literal)
+
+    def _check_func(self, name: str) -> str:
+        from repro.lang.functions import ANALYTIC_SPECS
+        if name not in FUNCTIONS and name not in ANALYTIC_SPECS:
+            raise ParseError(f"unknown function {name!r}")
+        return name
+
+    # --------------------------------------------------------------- parsing
+    def parse(self, text: str) -> ast.Query:
+        last: ast.Query | None = None
+        for raw in text.strip().splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            match = _LINE.match(line)
+            if not match:
+                raise ParseError(f"cannot parse line {line!r}")
+            name, op, arg_text = match.groups()
+            args = _split_args(arg_text)
+            query = self._build(op, args, line)
+            self.defined[name] = query
+            last = query
+        if last is None:
+            raise ParseError("no instructions found")
+        return last
+
+    def _build(self, op: str, args: list[str], line: str) -> ast.Query:
+        def need(n: int) -> None:
+            if len(args) != n:
+                raise ParseError(
+                    f"{op} expects {n} arguments, got {len(args)}: {line!r}")
+
+        if op in ("group", "partition"):
+            need(4)
+            child = self._resolve_ref(args[0])
+            keys = self._resolve_cols(args[1], child)
+            func = self._check_func(args[2])
+            col = self._resolve_col(args[3], child)
+            node = ast.Group if op == "group" else ast.Partition
+            return node(child, keys=keys, agg_func=func, agg_col=col)
+
+        if op == "arithmetic":
+            need(3)
+            child = self._resolve_ref(args[0])
+            func = self._check_func(args[1])
+            cols = self._resolve_cols(args[2], child)
+            return ast.Arithmetic(child, func=func, cols=cols)
+
+        if op == "filter":
+            need(2)
+            child = self._resolve_ref(args[0])
+            return ast.Filter(child, pred=self._resolve_pred(args[1], child))
+
+        if op == "sort":
+            need(3)
+            child = self._resolve_ref(args[0])
+            cols = self._resolve_cols(args[1], child)
+            if args[2] not in ("asc", "desc"):
+                raise ParseError(f"sort direction must be asc/desc: {line!r}")
+            return ast.Sort(child, cols=cols, ascending=args[2] == "asc")
+
+        if op == "proj":
+            need(2)
+            child = self._resolve_ref(args[0])
+            return ast.Proj(child, cols=self._resolve_cols(args[1], child))
+
+        if op == "join":
+            if len(args) not in (2, 3):
+                raise ParseError(f"join expects 2 or 3 arguments: {line!r}")
+            left = self._resolve_ref(args[0])
+            right = self._resolve_ref(args[1])
+            joined = ast.Join(left, right)
+            if len(args) == 3:
+                pred = self._resolve_pred(args[2], joined)
+                return ast.Join(left, right, pred=pred)
+            return joined
+
+        if op == "left_join":
+            need(3)
+            left = self._resolve_ref(args[0])
+            right = self._resolve_ref(args[1])
+            joined = ast.Join(left, right)  # for column resolution only
+            return ast.LeftJoin(left, right,
+                                pred=self._resolve_pred(args[2], joined))
+
+        raise ParseError(f"unknown operator {op!r}")
+
+
+def parse_instructions(text: str, env: ast.Env | None = None) -> ast.Query:
+    """Parse instruction-style text into a query AST.
+
+    With an ``env``, column *names* (resolved against each intermediate's
+    schema) are accepted alongside ``c<i>`` indices.
+    """
+    return _Parser(env).parse(text)

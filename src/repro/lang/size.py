@@ -1,0 +1,23 @@
+"""Query size metrics.
+
+The paper counts *operators* (table references are free): the running
+example's solution has size 3 (group, partition, arithmetic); benchmark
+difficulty is measured in required operators; and the ranker orders
+consistent queries by size.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Query, TableRef
+
+
+def operator_count(query: Query) -> int:
+    """Number of operator nodes (table references excluded)."""
+    return sum(1 for node in query.walk() if not isinstance(node, TableRef))
+
+
+def query_depth(query: Query) -> int:
+    """Longest operator chain from the root to any leaf table."""
+    children = query.child_queries()
+    below = max((query_depth(c) for c in children), default=0)
+    return below + (0 if isinstance(query, TableRef) else 1)

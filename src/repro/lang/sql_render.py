@@ -1,0 +1,112 @@
+"""Render a concrete query as analytical SQL text.
+
+The output mirrors the paper's presentation (Fig. 2): nested subqueries,
+``GROUP BY`` for group-aggregation and ``... OVER (PARTITION BY ...)`` for
+partition-aggregation.  Rendering is for human consumption — synthesized
+queries are *presented* as SQL; evaluation happens on the AST.
+"""
+
+from __future__ import annotations
+
+from repro.errors import HoleError
+from repro.lang import ast
+from repro.lang.functions import function_spec
+from repro.lang.holes import Hole, is_concrete
+from repro.lang.naming import joined_columns, output_columns
+from repro.lang.predicates import AndPred, ColCmp, ConstCmp, FalsePred, Predicate, TruePred
+
+_WINDOW_NAMES = {
+    "cumsum": "CUMSUM", "cummax": "CUMMAX", "cummin": "CUMMIN",
+    "cumavg": "CUMAVG", "rank": "RANK", "dense_rank": "DENSE_RANK",
+    "rank_desc": "RANK_DESC", "dense_rank_desc": "DENSE_RANK_DESC",
+}
+
+
+def _render_pred(pred: Predicate, columns: list[str]) -> str:
+    if isinstance(pred, TruePred):
+        return "TRUE"
+    if isinstance(pred, FalsePred):
+        return "FALSE"
+    if isinstance(pred, ColCmp):
+        op = "=" if pred.op == "==" else pred.op
+        return f"{columns[pred.left]} {op} {columns[pred.right]}"
+    if isinstance(pred, ConstCmp):
+        op = "=" if pred.op == "==" else pred.op
+        const = f"'{pred.const}'" if isinstance(pred.const, str) else str(pred.const)
+        return f"{columns[pred.col]} {op} {const}"
+    if isinstance(pred, AndPred):
+        return " AND ".join(_render_pred(p, columns) for p in pred.parts)
+    raise HoleError(f"cannot render predicate {pred!r}")
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+def _render(query: ast.Query, env: ast.Env) -> str:
+    if isinstance(query, ast.TableRef):
+        return query.name
+
+    if isinstance(query, ast.Filter):
+        cols = output_columns(query.child, env)
+        return (f"SELECT * FROM (\n{_indent(_render(query.child, env))}\n)"
+                f" WHERE {_render_pred(query.pred, cols)}")
+
+    if isinstance(query, (ast.Join, ast.LeftJoin)):
+        left_cols = output_columns(query.left, env)
+        right_cols = output_columns(query.right, env)
+        cols = joined_columns(left_cols, right_cols)
+        kind = "LEFT JOIN" if isinstance(query, ast.LeftJoin) else "JOIN"
+        pred = getattr(query, "pred", None)
+        on = "" if pred is None else f" ON {_render_pred(pred, cols)}"
+        return (f"SELECT * FROM (\n{_indent(_render(query.left, env))}\n) {kind} (\n"
+                f"{_indent(_render(query.right, env))}\n){on}")
+
+    if isinstance(query, ast.Proj):
+        child_cols = output_columns(query.child, env)
+        select = ", ".join(child_cols[c] for c in query.cols)
+        return f"SELECT {select} FROM (\n{_indent(_render(query.child, env))}\n)"
+
+    if isinstance(query, ast.Sort):
+        cols = output_columns(query.child, env)
+        direction = "ASC" if query.ascending else "DESC"
+        order = ", ".join(f"{cols[c]} {direction}" for c in query.cols)
+        return (f"SELECT * FROM (\n{_indent(_render(query.child, env))}\n)"
+                f" ORDER BY {order}")
+
+    if isinstance(query, ast.Group):
+        cols = output_columns(query.child, env)
+        out_cols = output_columns(query, env)
+        keys = ", ".join(cols[k] for k in query.keys)
+        agg = f"{query.agg_func.upper()}({cols[query.agg_col]}) AS {out_cols[-1]}"
+        return (f"SELECT {keys}, {agg} FROM (\n{_indent(_render(query.child, env))}\n)"
+                f" GROUP BY {keys}")
+
+    if isinstance(query, ast.Partition):
+        cols = output_columns(query.child, env)
+        out_cols = output_columns(query, env)
+        keys = ", ".join(cols[k] for k in query.keys)
+        fname = _WINDOW_NAMES.get(query.agg_func, query.agg_func.upper())
+        window = (f"{fname}({cols[query.agg_col]}) OVER (PARTITION BY {keys})"
+                  f" AS {out_cols[-1]}")
+        return f"SELECT *, {window} FROM (\n{_indent(_render(query.child, env))}\n)"
+
+    if isinstance(query, ast.Arithmetic):
+        cols = output_columns(query.child, env)
+        out_cols = output_columns(query, env)
+        spec = function_spec(query.func)
+        if spec.sql is not None:
+            expr = spec.sql.format(*[cols[c] for c in query.cols])
+        else:
+            expr = f"{query.func}({', '.join(cols[c] for c in query.cols)})"
+        return (f"SELECT *, {expr} AS {out_cols[-1]} FROM (\n"
+                f"{_indent(_render(query.child, env))}\n)")
+
+    raise HoleError(f"cannot render {type(query).__name__}")
+
+
+def to_sql(query: ast.Query, env: ast.Env) -> str:
+    """Render a concrete query as SQL text; raises on partial queries."""
+    if not is_concrete(query):
+        raise HoleError("cannot render a partial query as SQL")
+    return _render(query, env) + ";"

@@ -1,0 +1,105 @@
+"""The consistency judgment ``e ≺ e★`` (Fig. 10) and Definition 1.
+
+``e ≺ e★`` — "the tracked term e★ generalizes the demonstrated term e":
+
+* identical constants / cell references match;
+* ``e ≺ group{ē★}`` when some member generalizes ``e`` (all cells of a group
+  share one value, so the user may reference any of them — footnote 1);
+* ``f♦(ē) ≺ f(ē★)`` — commutative ``f``: each demo argument matches a
+  *distinct* tracked argument (injective matching); positional ``f``: the
+  demo arguments embed as a subsequence (omissions may be anywhere, §3.2);
+  ranked functions match the ranked (first) argument positionally and the
+  rest as a multiset;
+* complete ``f(ē)`` additionally requires the match to cover *all* tracked
+  arguments (bijection / equal length).
+
+Table-level consistency (Definition 1): the demonstration embeds into the
+tracked output via injective row and column assignments under ≺.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.lang.functions import function_spec
+from repro.provenance.expr import CellRef, Const, Expr, FuncApp, GroupSet
+from repro.provenance.simplify import simplify
+from repro.table.values import value_eq
+from repro.util.matching import embedding_exists, multiset_match, subsequence_match
+
+
+def generalizes(tracked: Expr, demo: Expr) -> bool:
+    """``demo ≺ tracked`` (both sides are simplified first)."""
+    return _gen(simplify(tracked), simplify(demo))
+
+
+def _gen(tracked: Expr, demo: Expr) -> bool:
+    # e ≺ group{...}: any member may witness the match.
+    if isinstance(tracked, GroupSet):
+        return any(_gen(member, demo) for member in tracked.members)
+
+    if isinstance(demo, Const):
+        return isinstance(tracked, Const) and value_eq(tracked.value, demo.value)
+
+    if isinstance(demo, CellRef):
+        return tracked == demo
+
+    if isinstance(demo, FuncApp):
+        if not isinstance(tracked, FuncApp) or tracked.func != demo.func:
+            return False
+        return _match_args(demo, tracked)
+
+    return False
+
+
+def _match_args(demo: FuncApp, tracked: FuncApp) -> bool:
+    spec = function_spec(demo.func)
+    d_args, t_args = demo.args, tracked.args
+
+    if spec.arg_style == "commutative":
+        return multiset_match(d_args, t_args, lambda d, t: _gen(t, d),
+                              exact=not demo.partial)
+
+    if spec.arg_style == "ranked":
+        # First argument is the ranked row itself — positional; the remaining
+        # arguments are the group pool — a multiset.
+        if not d_args or not t_args or not _gen(t_args[0], d_args[0]):
+            return False
+        return multiset_match(d_args[1:], t_args[1:], lambda d, t: _gen(t, d),
+                              exact=not demo.partial)
+
+    # Positional: complete expressions match pairwise; partial ones embed as
+    # a subsequence (omitted values may be at the beginning, middle or end).
+    if not demo.partial:
+        if len(d_args) != len(t_args):
+            return False
+        return all(_gen(t, d) for d, t in zip(d_args, t_args))
+    return subsequence_match(d_args, t_args, lambda d, t: _gen(t, d))
+
+
+# ---------------------------------------------------------------- Definition 1
+
+def demo_consistent(tracked_cells: Sequence[Sequence[Expr]],
+                    demo_cells: Sequence[Sequence[Expr]]) -> bool:
+    """Definition 1: E embeds into T★ by injective row/column assignments.
+
+    ``tracked_cells`` is the grid of a provenance-embedded table; both grids
+    are rectangular.
+    """
+    n_demo_rows = len(demo_cells)
+    n_demo_cols = len(demo_cells[0]) if demo_cells else 0
+    n_rows = len(tracked_cells)
+    n_cols = len(tracked_cells[0]) if tracked_cells else 0
+
+    tracked_simple = [[simplify(e) for e in row] for row in tracked_cells]
+    demo_simple = [[simplify(e) for e in row] for row in demo_cells]
+
+    memo: dict[tuple[int, int, int, int], bool] = {}
+
+    def cell_ok(i: int, j: int, r: int, c: int) -> bool:
+        key = (i, j, r, c)
+        if key not in memo:
+            memo[key] = _gen(tracked_simple[r][c], demo_simple[i][j])
+        return memo[key]
+
+    return embedding_exists(n_demo_rows, n_demo_cols, n_rows, n_cols, cell_ok)

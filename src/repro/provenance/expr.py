@@ -1,0 +1,137 @@
+"""Provenance / demonstration expression terms (paper Fig. 8).
+
+    e★ ← const | T_k[i, j] | f(e★, ...) | group{e★, ...}
+    e  ← const | T_k[i, j] | f(e, ...)  | f♦(e, ...)
+
+Terms are immutable, hashable dataclasses.  ``FuncApp.partial`` encodes the
+``f♦`` form — the user omitted some arguments (♦); the omitted values may sit
+anywhere in the argument list (§3.2), which the matcher honours.
+
+Cell references are 0-based internally; ``repr`` renders them 1-based to
+match the paper's ``T[1,1]`` notation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable
+
+from repro.errors import ExpressionError
+from repro.lang.functions import apply_function, function_spec
+from repro.table.values import Value
+
+
+class Expr:
+    """Base class for provenance / demonstration terms."""
+
+    def evaluate(self, env) -> Value:
+        """Concrete value of this term given input tables ``env``."""
+        raise NotImplementedError
+
+    def children(self) -> tuple["Expr", ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: Value
+
+    def evaluate(self, env) -> Value:
+        return self.value
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class CellRef(Expr):
+    """Reference to cell ``[row, col]`` of input table ``table``."""
+
+    table: str
+    row: int
+    col: int
+
+    def evaluate(self, env) -> Value:
+        return env.get(self.table).cell(self.row, self.col)
+
+    def __repr__(self) -> str:
+        return f"{self.table}[{self.row + 1},{self.col + 1}]"
+
+
+@dataclass(frozen=True)
+class FuncApp(Expr):
+    """``f(args...)`` — or ``f♦(args...)`` when ``partial`` is set."""
+
+    func: str
+    args: tuple[Expr, ...]
+    partial: bool = False
+
+    def __post_init__(self) -> None:
+        function_spec(self.func)  # validate the name eagerly
+        if not self.args:
+            raise ExpressionError(f"{self.func} applied to no arguments")
+
+    def evaluate(self, env) -> Value:
+        if self.partial:
+            raise ExpressionError(
+                f"cannot evaluate partial expression {self!r}")
+        return apply_function(self.func, [a.evaluate(env) for a in self.args])
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        marker = "♦" if self.partial else ""
+        return f"{self.func}{marker}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True)
+class GroupSet(Expr):
+    """``group{members}`` — cells collapsed by a group-by key column.
+
+    All members carry the same value by construction, so evaluation uses the
+    first one.
+    """
+
+    members: tuple[Expr, ...]
+
+    def __post_init__(self) -> None:
+        if not self.members:
+            raise ExpressionError("empty group{} term")
+
+    def evaluate(self, env) -> Value:
+        return self.members[0].evaluate(env)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.members
+
+    def __repr__(self) -> str:
+        return "group{" + ", ".join(map(repr, self.members)) + "}"
+
+
+# ------------------------------------------------------------- constructors
+
+def const(value: Value) -> Const:
+    return Const(value)
+
+
+def cell(table: str, row: int, col: int) -> CellRef:
+    """0-based cell reference (the paper's ``T[row+1, col+1]``)."""
+    return CellRef(table, row, col)
+
+
+def func(name: str, *args: Expr | Value) -> FuncApp:
+    return FuncApp(name, tuple(_lift(a) for a in args))
+
+
+def partial_func(name: str, *args: Expr | Value) -> FuncApp:
+    """``f♦(args...)`` — a demonstration expression with omitted values."""
+    return FuncApp(name, tuple(_lift(a) for a in args), partial=True)
+
+
+def group(members: Iterable[Expr]) -> GroupSet:
+    return GroupSet(tuple(members))
+
+
+def _lift(value: Expr | Value) -> Expr:
+    return value if isinstance(value, Expr) else Const(value)

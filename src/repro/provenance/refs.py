@@ -1,0 +1,24 @@
+"""The ``ref`` function (paper §4): input-cell references used by a term.
+
+``ref`` drives the abstract consistency check (Definition 3): a demonstration
+cell can only be realized by an abstract output cell whose over-approximated
+provenance is a superset of the demonstration cell's references.
+"""
+
+from __future__ import annotations
+
+from repro.provenance.expr import CellRef, Const, Expr, FuncApp, GroupSet
+
+
+def refs_of(expr: Expr) -> frozenset[CellRef]:
+    """All :class:`CellRef` leaves of a term."""
+    if isinstance(expr, CellRef):
+        return frozenset((expr,))
+    if isinstance(expr, Const):
+        return frozenset()
+    if isinstance(expr, (FuncApp, GroupSet)):
+        out: frozenset[CellRef] = frozenset()
+        for child in expr.children():
+            out |= refs_of(child)
+        return out
+    raise TypeError(f"not a provenance term: {expr!r}")

@@ -1,0 +1,59 @@
+"""Term simplification (paper §3.1).
+
+The tracking semantics simplifies consecutive applications of flattenable
+aggregates — ``f(f(a, b), c) → f(a, b, c)`` for ``f ∈ {sum, max, min}`` — so
+that semantically equivalent aggregations compare equal under ≺ (a cumulative
+sum over group sums flattens to one big sum, exactly as in Fig. 4).
+
+``group{group{...}, ...}`` sets are flattened for the same reason: regrouping
+an already-grouped key column nests sets that denote the same collapsed
+cells.
+"""
+
+from __future__ import annotations
+
+from repro.lang.functions import function_spec
+from repro.provenance.expr import CellRef, Const, Expr, FuncApp, GroupSet
+
+
+def simplify(expr: Expr) -> Expr:
+    """Bottom-up flattening; returns a new term (inputs are immutable)."""
+    if isinstance(expr, (Const, CellRef)):
+        return expr
+
+    if isinstance(expr, GroupSet):
+        members: list[Expr] = []
+        for member in expr.members:
+            member = simplify(member)
+            if isinstance(member, GroupSet):
+                members.extend(member.members)
+            else:
+                members.append(member)
+        return GroupSet(_dedup(members))
+
+    if isinstance(expr, FuncApp):
+        args = [simplify(a) for a in expr.args]
+        spec = function_spec(expr.func)
+        if spec.flattenable:
+            flat: list[Expr] = []
+            partial = expr.partial
+            for arg in args:
+                if isinstance(arg, FuncApp) and arg.func == expr.func:
+                    flat.extend(arg.args)
+                    partial = partial or arg.partial
+                else:
+                    flat.append(arg)
+            return FuncApp(expr.func, tuple(flat), partial=partial)
+        return FuncApp(expr.func, tuple(args), partial=expr.partial)
+
+    return expr
+
+
+def _dedup(members: list[Expr]) -> tuple[Expr, ...]:
+    seen: set[Expr] = set()
+    out: list[Expr] = []
+    for m in members:
+        if m not in seen:
+            seen.add(m)
+            out.append(m)
+    return tuple(out)

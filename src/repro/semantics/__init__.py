@@ -1,0 +1,14 @@
+"""Evaluation semantics for L_SQL.
+
+* :mod:`repro.semantics.concrete` — standard evaluation ``[[q(T̄)]]``;
+* :mod:`repro.semantics.tracking` — provenance-tracking evaluation
+  ``[[q(T̄)]]★`` (paper Fig. 9), whose outputs carry a provenance expression
+  *and* a concrete value per cell (the concrete grid is needed to drive
+  grouping, filtering and sorting decisions during tracking).
+"""
+
+from repro.semantics.concrete import evaluate
+from repro.semantics.groups import extract_groups
+from repro.semantics.tracking import TrackedTable, evaluate_tracking
+
+__all__ = ["evaluate", "evaluate_tracking", "TrackedTable", "extract_groups"]

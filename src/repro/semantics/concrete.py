@@ -1,0 +1,110 @@
+"""Standard (concrete) evaluation of L_SQL queries.
+
+``evaluate(q, env)`` returns an ordered-bag :class:`~repro.table.Table`.
+Evaluation is memoized on the (query, env) pair — the synthesizer evaluates
+thousands of structurally-shared partial queries' concrete subtrees, and the
+tables involved are tiny, so caching is a large win.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.errors import EvaluationError, HoleError
+from repro.lang import ast
+from repro.lang.functions import analytic_spec, apply_function
+from repro.lang.holes import Hole, is_concrete
+from repro.lang.naming import output_columns
+from repro.semantics.groups import extract_groups, group_of
+from repro.table.table import Table
+from repro.table.values import value_sort_key
+
+
+def evaluate(query: ast.Query, env: ast.Env) -> Table:
+    """Evaluate a concrete query; raises :class:`HoleError` on holes."""
+    if not is_concrete(query):
+        raise HoleError(f"cannot concretely evaluate a partial query: {query}")
+    return _evaluate_cached(query, env)
+
+
+@lru_cache(maxsize=100_000)
+def _evaluate_cached(query: ast.Query, env: ast.Env) -> Table:
+    rows = _rows(query, env)
+    columns = output_columns(query, env)
+    return Table.from_rows("t", columns, rows)
+
+
+def _rows(query: ast.Query, env: ast.Env) -> list[tuple]:
+    if isinstance(query, ast.TableRef):
+        return list(env.get(query.name).rows)
+
+    if isinstance(query, ast.Filter):
+        child = _evaluate_cached(query.child, env)
+        return [row for row in child.rows if query.pred.evaluate(row)]
+
+    if isinstance(query, ast.Join):
+        left = _evaluate_cached(query.left, env)
+        right = _evaluate_cached(query.right, env)
+        combined = [l + r for l in left.rows for r in right.rows]
+        if query.pred is None:
+            return combined
+        return [row for row in combined if query.pred.evaluate(row)]
+
+    if isinstance(query, ast.LeftJoin):
+        left = _evaluate_cached(query.left, env)
+        right = _evaluate_cached(query.right, env)
+        pad = (None,) * right.n_cols
+        out = []
+        for l in left.rows:
+            matches = [l + r for r in right.rows if query.pred.evaluate(l + r)]
+            out.extend(matches if matches else [l + pad])
+        return out
+
+    if isinstance(query, ast.Proj):
+        child = _evaluate_cached(query.child, env)
+        return [tuple(row[c] for c in query.cols) for row in child.rows]
+
+    if isinstance(query, ast.Sort):
+        child = _evaluate_cached(query.child, env)
+        keyed = sorted(
+            child.rows,
+            key=lambda row: tuple(value_sort_key(row[c]) for c in query.cols),
+            reverse=not query.ascending)
+        return list(keyed)
+
+    if isinstance(query, ast.Group):
+        child = _evaluate_cached(query.child, env)
+        key_rows = [[row[k] for k in query.keys] for row in child.rows]
+        groups = extract_groups(key_rows)
+        out = []
+        for g in groups:
+            rep = child.rows[g[0]]
+            agg_values = [child.rows[i][query.agg_col] for i in g]
+            out.append(tuple(rep[k] for k in query.keys)
+                       + (apply_function(query.agg_func, agg_values),))
+        return out
+
+    if isinstance(query, ast.Partition):
+        child = _evaluate_cached(query.child, env)
+        key_rows = [[row[k] for k in query.keys] for row in child.rows]
+        groups = extract_groups(key_rows)
+        spec = analytic_spec(query.agg_func)
+        out = []
+        for i, row in enumerate(child.rows):
+            g = group_of(groups, i)
+            group_values = [child.rows[k][query.agg_col] for k in g]
+            args = spec.row_args(group_values, g.index(i))
+            out.append(row + (apply_function(spec.term_name, args),))
+        return out
+
+    if isinstance(query, ast.Arithmetic):
+        child = _evaluate_cached(query.child, env)
+        return [row + (apply_function(query.func, [row[c] for c in query.cols]),)
+                for row in child.rows]
+
+    raise EvaluationError(f"unknown query node {type(query).__name__}")
+
+
+def clear_cache() -> None:
+    """Drop the memoized evaluation results (used between experiment runs)."""
+    _evaluate_cached.cache_clear()

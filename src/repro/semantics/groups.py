@@ -1,0 +1,34 @@
+"""``extractGroups`` (paper Fig. 9, bottom).
+
+Partitions row indexes into maximal equivalence classes of rows whose key
+columns hold equal values.  Groups are emitted in first-occurrence order so
+every consumer (concrete evaluation, tracking, strong abstraction) sees the
+same deterministic grouping.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.table.values import Value, canonical
+
+
+def extract_groups(key_rows: Sequence[Sequence[Value]]) -> list[list[int]]:
+    """Group row indexes by equality of their key tuples."""
+    order: list[tuple] = []
+    buckets: dict[tuple, list[int]] = {}
+    for i, key_row in enumerate(key_rows):
+        key = tuple(canonical(v) for v in key_row)
+        if key not in buckets:
+            buckets[key] = []
+            order.append(key)
+        buckets[key].append(i)
+    return [buckets[key] for key in order]
+
+
+def group_of(groups: list[list[int]], row: int) -> list[int]:
+    """The group containing ``row`` (rows belong to exactly one group)."""
+    for g in groups:
+        if row in g:
+            return g
+    raise ValueError(f"row {row} not in any group")

@@ -1,0 +1,11 @@
+"""Programmatic demonstration generation (paper §5.1).
+
+Benchmarks pair input tables with a ground-truth query; the generator
+produces the small, partially-omitted computation demonstrations the paper
+uses to drive its systematic evaluation.
+"""
+
+from repro.spec.demo_gen import DemoGenConfig, generate_demonstration
+from repro.spec.sampling import sample_table
+
+__all__ = ["generate_demonstration", "DemoGenConfig", "sample_table"]

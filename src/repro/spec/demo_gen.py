@@ -1,0 +1,93 @@
+"""Generate computation demonstrations from ground-truth queries (§5.1).
+
+The paper's procedure, reproduced step by step:
+
+1. evaluate ``T★ = [[q_gt(T̄)]]★`` under the tracking semantics;
+2. randomly sample 2 rows of ``T★`` as the partial output;
+3. permute the argument order of commutative functions (users do not list
+   values in any canonical order);
+4. replace expressions with more than four values by an incomplete
+   expression containing at most four values plus ♦ (omitted parameters);
+5. collapse ``group{...}`` terms to a single member (any member of a group
+   carries the group's value — footnote 1 — so users reference just one).
+
+Everything is deterministic in the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.lang.ast import Env, Query
+from repro.lang.functions import function_spec
+from repro.provenance.demo import Demonstration
+from repro.provenance.expr import CellRef, Const, Expr, FuncApp, GroupSet
+from repro.semantics.tracking import evaluate_tracking
+from repro.util.rng import stable_rng
+
+
+@dataclass(frozen=True)
+class DemoGenConfig:
+    """Knobs of the §5.1 generation procedure."""
+
+    n_rows: int = 2            # demonstrated output rows
+    max_expr_values: int = 4   # values kept before ♦-truncation
+    seed: int = 0
+    columns: tuple[int, ...] | None = None  # restrict to these output columns
+
+
+def generate_demonstration(query: Query, env: Env,
+                           config: DemoGenConfig | None = None,
+                           label: str = "") -> Demonstration:
+    """Build the demonstration E for ``query`` evaluated on ``env``."""
+    config = config or DemoGenConfig()
+    tracked = evaluate_tracking(query, env)
+    rng = stable_rng(f"demo:{label}", config.seed)
+
+    n_rows = min(config.n_rows, tracked.n_rows)
+    if n_rows == 0:
+        raise ValueError("ground-truth output is empty; cannot demonstrate")
+    row_ids = sorted(rng.sample(range(tracked.n_rows), n_rows))
+    col_ids = list(config.columns) if config.columns is not None \
+        else list(range(tracked.n_cols))
+
+    rows = []
+    for i in row_ids:
+        rows.append([_demonstrate(tracked.exprs[i][j], rng,
+                                  config.max_expr_values)
+                     for j in col_ids])
+    return Demonstration.of(rows)
+
+
+def _demonstrate(expr: Expr, rng: random.Random, max_values: int) -> Expr:
+    """Turn one tracked cell ``e★`` into a user-style demo cell ``e``."""
+    if isinstance(expr, (Const, CellRef)):
+        return expr
+    if isinstance(expr, GroupSet):
+        # The user references any one member of the group.
+        return _demonstrate(rng.choice(expr.members), rng, max_values)
+    if isinstance(expr, FuncApp):
+        args = [_demonstrate(a, rng, max_values) for a in expr.args]
+        spec = function_spec(expr.func)
+        if spec.arg_style == "commutative":
+            rng.shuffle(args)
+            if len(args) > max_values:
+                args = args[:max_values]
+                return FuncApp(expr.func, tuple(args), partial=True)
+            return FuncApp(expr.func, tuple(args))
+        if spec.arg_style == "ranked":
+            own, pool = args[0], args[1:]
+            rng.shuffle(pool)
+            if len(pool) > max_values - 1:
+                pool = pool[: max_values - 1]
+                return FuncApp(expr.func, (own, *pool), partial=True)
+            return FuncApp(expr.func, (own, *pool),
+                           partial=len(pool) < len(args) - 1)
+        # Positional: keep a subsequence when truncating.
+        if len(args) > max_values:
+            keep = sorted(rng.sample(range(len(args)), max_values))
+            return FuncApp(expr.func, tuple(args[k] for k in keep),
+                           partial=True)
+        return FuncApp(expr.func, tuple(args))
+    raise TypeError(f"unexpected tracked term {expr!r}")

@@ -1,0 +1,21 @@
+"""Input-table sampling (paper §5.1, step 1).
+
+"For input with > 20 rows, we sample 20 rows from the input table and use
+the sampled data as the synthesis task input."  Sampling preserves the
+original relative row order — order feeds the order-dependent analytic
+functions — and is deterministic in the (table name, seed) pair.
+"""
+
+from __future__ import annotations
+
+from repro.table.table import Table
+from repro.util.rng import stable_rng
+
+
+def sample_table(table: Table, max_rows: int = 20, seed: int = 0) -> Table:
+    """At most ``max_rows`` rows, original order preserved."""
+    if table.n_rows <= max_rows:
+        return table
+    rng = stable_rng(f"sample:{table.name}", seed)
+    keep = sorted(rng.sample(range(table.n_rows), max_rows))
+    return table.take_rows(keep)

@@ -1,0 +1,20 @@
+"""The abstraction-based enumerative synthesizer (paper Alg. 1).
+
+:func:`~repro.synthesis.synthesizer.synthesize` is the public entry point;
+it enumerates query skeletons, instantiates holes breadth-first, prunes
+partial queries through a pluggable abstraction and collects queries whose
+provenance-tracking output is consistent with the user demonstration.
+"""
+
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.enumerator import SearchStats, SynthesisResult, enumerate_queries
+from repro.synthesis.equivalence import same_output
+from repro.synthesis.ranking import rank_queries
+from repro.synthesis.skeletons import construct_skeletons
+from repro.synthesis.synthesizer import Synthesizer, synthesize
+
+__all__ = [
+    "SynthesisConfig", "Synthesizer", "synthesize",
+    "SearchStats", "SynthesisResult", "enumerate_queries",
+    "construct_skeletons", "rank_queries", "same_output",
+]

@@ -1,0 +1,223 @@
+"""The enumerative search loop (paper Algorithm 1).
+
+Breadth-first over a worklist seeded with skeletons: concrete queries are
+checked against the demonstration under the provenance-tracking semantics
+(``E ≺ [[q(T̄)]]★``); partial queries are screened by the pluggable
+abstraction and pruned when no instantiation can realize the demonstration.
+
+The loop exposes the counters the paper's evaluation reports: queries
+visited (partial + concrete), queries pruned, concrete consistency checks,
+and wall-clock time.  An optional ``stop_predicate`` reproduces the
+experiment mode ("the synthesizer runs until the correct query q_gt is
+found").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from collections.abc import Callable
+
+from repro.abstraction.base import Abstraction
+from repro.lang import ast
+from repro.lang.holes import fill, first_hole, is_concrete
+from repro.lang.size import operator_count
+from repro.provenance.consistency import demo_consistent
+from repro.provenance.demo import Demonstration
+from repro.semantics.tracking import evaluate_tracking
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.domains import hole_domain
+from repro.synthesis.shape import shape_feasible
+from repro.synthesis.skeletons import construct_skeletons
+from repro.util.timer import Deadline, Stopwatch
+
+
+class _Worklist:
+    """The search frontier under one of three exploration strategies.
+
+    Filling a hole never changes a query's operator count, so every item
+    keeps the size computed for its skeleton.
+
+    ``sized_dfs`` (default) gives each skeleton its own *lane* (a stack) and
+    pops round-robin across all live lanes, with lanes kept in skeleton-size
+    order inside each cycle.  Every skeleton makes progress concurrently —
+    a sibling skeleton's huge subspace can never starve the one containing
+    the solution — small skeletons (which exhaust or die quickly) still
+    dominate early, and within a lane the search is depth-first, reaching
+    concrete candidates without materializing the breadth-first frontier,
+    which is impractical at pure-Python speeds.
+    """
+
+    def __init__(self, strategy: str) -> None:
+        self.strategy = strategy
+        self._fifo: deque[tuple[int, int, ast.Query]] = deque()
+        self._stacks: dict[int, list[ast.Query]] = {}  # lane id -> stack
+        self._order: list[int] = []                    # live lanes, size order
+        self._rr = 0
+        self._count = 0
+        self._next_lane = 0
+
+    def add_lane(self, query: ast.Query, size: int) -> int:
+        """Seed a new lane (one per skeleton); returns the lane id.
+
+        Lanes must be added in skeleton-size order (construct_skeletons
+        already emits smallest-first), which keeps each round-robin cycle
+        visiting small skeletons before large ones.
+        """
+        lane_id = self._next_lane
+        self._next_lane += 1
+        if self.strategy in ("bfs", "dfs"):
+            self._fifo.append((size, lane_id, query))
+        else:
+            self._stacks[lane_id] = [query]
+            self._order.append(lane_id)
+            self._count += 1
+        return lane_id
+
+    def push(self, query: ast.Query, size: int, lane_id: int) -> None:
+        """Push an expansion onto its parent's lane."""
+        if self.strategy == "bfs":
+            self._fifo.append((size, lane_id, query))
+        elif self.strategy == "dfs":
+            self._fifo.appendleft((size, lane_id, query))
+        else:
+            self._stacks[lane_id].append(query)
+            self._count += 1
+
+    def pop(self) -> tuple[int, int, ast.Query]:
+        if self.strategy in ("bfs", "dfs"):
+            return self._fifo.popleft()
+        idx = self._rr % len(self._order)
+        # Drop exhausted lanes as they are encountered.
+        while not self._stacks[self._order[idx]]:
+            del self._stacks[self._order[idx]]
+            self._order.pop(idx)
+            idx %= len(self._order)
+        lane_id = self._order[idx]
+        query = self._stacks[lane_id].pop()
+        self._count -= 1
+        self._rr = (idx + 1) % len(self._order)
+        return 0, lane_id, query
+
+    def __bool__(self) -> bool:
+        if self.strategy in ("bfs", "dfs"):
+            return bool(self._fifo)
+        return self._count > 0
+
+
+@dataclass
+class SearchStats:
+    """Counters mirroring the paper's reported metrics."""
+
+    visited: int = 0             # queries popped (partial + concrete)
+    pruned: int = 0              # partial queries rejected by the abstraction
+    expanded: int = 0            # partial queries whose holes were branched
+    concrete_checked: int = 0    # concrete queries checked under ≺
+    consistent_found: int = 0
+    elapsed_s: float = 0.0
+    timed_out: bool = False
+    skeletons: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class SynthesisResult:
+    """Outcome of one search run."""
+
+    queries: list[ast.Query] = field(default_factory=list)  # discovery order
+    stats: SearchStats = field(default_factory=SearchStats)
+    target: ast.Query | None = None      # query that fired stop_predicate
+    target_rank: int | None = None       # 1-based discovery rank of target
+
+    @property
+    def solved(self) -> bool:
+        return self.target is not None
+
+
+def enumerate_queries(
+        env: ast.Env,
+        demo: Demonstration,
+        config: SynthesisConfig,
+        abstraction: Abstraction,
+        stop_predicate: Callable[[ast.Query], bool] | None = None,
+) -> SynthesisResult:
+    """Run Algorithm 1.
+
+    Without ``stop_predicate``, the search stops after ``config.top_n``
+    consistent queries (the tool's interactive mode).  With it, the search
+    runs until a consistent query satisfies the predicate (the experiment
+    mode) or the budget expires.
+    """
+    watch = Stopwatch()
+    deadline = Deadline(config.timeout_s)
+    result = SynthesisResult()
+    stats = result.stats
+
+    worklist = _Worklist(config.strategy)
+    skeletons = construct_skeletons(env, config)
+    stats.skeletons = len(skeletons)
+    for skeleton in skeletons:
+        if config.shape_precheck and not shape_feasible(skeleton, demo):
+            stats.visited += 1
+            stats.pruned += 1
+            continue
+        worklist.add_lane(skeleton, operator_count(skeleton))
+
+    while worklist:
+        if deadline.expired():
+            stats.timed_out = True
+            break
+        if config.max_visited is not None and stats.visited >= config.max_visited:
+            stats.timed_out = True
+            break
+        size, lane_id, query = worklist.pop()
+        stats.visited += 1
+
+        if is_concrete(query):
+            stats.concrete_checked += 1
+            if _consistent(query, env, demo):
+                stats.consistent_found += 1
+                result.queries.append(query)
+                if stop_predicate is not None and stop_predicate(query):
+                    result.target = query
+                    result.target_rank = len(result.queries)
+                    break
+                if stop_predicate is None and \
+                        stats.consistent_found >= config.top_n:
+                    break
+            continue
+
+        if not abstraction.feasible(query, env, demo):
+            stats.pruned += 1
+            continue
+
+        position = first_hole(query)
+        assert position is not None  # query is partial here
+        stats.expanded += 1
+        domain = hole_domain(query, position, env, config, demo)
+        # Reversed for LIFO lanes: candidates are explored in domain order.
+        if config.strategy == "bfs":
+            for value in domain:
+                worklist.push(fill(query, position, value), size, lane_id)
+        else:
+            for value in reversed(domain):
+                worklist.push(fill(query, position, value), size, lane_id)
+
+    stats.elapsed_s = watch.elapsed()
+    return result
+
+
+def _consistent(query: ast.Query, env: ast.Env, demo: Demonstration) -> bool:
+    """``E ≺ [[q(T̄)]]★`` with defensive guards.
+
+    Some concrete candidates are ill-typed on the given data in ways domain
+    inference cannot see statically (e.g. arithmetic over a NULL-producing
+    division); those evaluate to errors and are simply not solutions.
+    """
+    try:
+        tracked = evaluate_tracking(query, env)
+    except (TypeError, ValueError, ZeroDivisionError):
+        return False
+    return demo_consistent(tracked.exprs, demo.cells)

@@ -1,0 +1,70 @@
+"""Output equivalence between a candidate and the ground-truth query.
+
+The experiment runner needs to decide when "the correct query q_gt is found"
+(§5.2).  Literal AST equality is too strict — key order, benign extra
+columns and column order all vary between equivalent formulations — so we
+compare *outputs*: the candidate is accepted when there is an injective
+mapping of the ground truth's output columns into the candidate's under
+which the row bags coincide.  This is the same subtable view that the
+consistency criteria take of demonstrations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.lang.ast import Env, Query
+from repro.semantics.concrete import evaluate
+from repro.table.table import Table
+from repro.table.values import canonical
+
+
+def tables_equivalent(reference: Table, candidate: Table) -> bool:
+    """Injective column embedding of ``reference`` preserving row bags."""
+    if candidate.n_rows != reference.n_rows:
+        return False
+    if candidate.n_cols < reference.n_cols:
+        return False
+
+    ref_cols = [Counter(canonical(v) for v in reference.column_values(j))
+                for j in range(reference.n_cols)]
+    cand_cols = [Counter(canonical(v) for v in candidate.column_values(j))
+                 for j in range(candidate.n_cols)]
+    candidates = [[c for c, counter in enumerate(cand_cols)
+                   if counter == ref_cols[j]]
+                  for j in range(reference.n_cols)]
+    if any(not options for options in candidates):
+        return False
+
+    assignment: list[int] = []
+
+    def bags_equal() -> bool:
+        ref_bag = Counter(tuple(canonical(v) for v in row)
+                          for row in reference.rows)
+        cand_bag = Counter(tuple(canonical(row[c]) for c in assignment)
+                           for row in candidate.rows)
+        return ref_bag == cand_bag
+
+    def assign(j: int) -> bool:
+        if j == reference.n_cols:
+            return bags_equal()
+        for c in candidates[j]:
+            if c in assignment:
+                continue
+            assignment.append(c)
+            if assign(j + 1):
+                return True
+            assignment.pop()
+        return False
+
+    return assign(0)
+
+
+def same_output(candidate: Query, ground_truth: Query, env: Env) -> bool:
+    """True when the candidate reproduces the ground truth's output."""
+    try:
+        cand_out = evaluate(candidate, env)
+    except (TypeError, ValueError, ZeroDivisionError):
+        return False
+    gt_out = evaluate(ground_truth, env)
+    return tables_equivalent(gt_out, cand_out)

@@ -1,0 +1,25 @@
+"""Ranking of consistent queries (paper §5.1–5.2).
+
+Sickle ranks by query size; within a size class, discovery order is kept
+(breadth-first search already finds smaller queries first, so the two
+criteria agree — the stable sort below preserves that).
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Query
+from repro.lang.size import operator_count
+
+
+def rank_queries(queries: list[Query]) -> list[Query]:
+    """Discovery-ordered queries → rank order (size, then discovery)."""
+    return sorted(queries, key=operator_count)
+
+
+def rank_of(queries: list[Query], target: Query) -> int | None:
+    """1-based rank of ``target`` among the ranked queries."""
+    ranked = rank_queries(queries)
+    for i, q in enumerate(ranked, start=1):
+        if q == target:
+            return i
+    return None

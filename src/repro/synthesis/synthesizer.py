@@ -1,0 +1,85 @@
+"""Top-level synthesizer facade.
+
+``synthesize(tables, demo, ...)`` is the one-call public API: build an
+abstraction, run Algorithm 1, and return ranked consistent queries.  The
+:class:`Synthesizer` class is the reusable variant for experiment loops
+(keeps the abstraction object and clears its caches between tasks).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.abstraction.base import Abstraction, make_abstraction
+from repro.lang.ast import Env, Query
+from repro.provenance.demo import Demonstration
+from repro.semantics import concrete, tracking
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.enumerator import SynthesisResult, enumerate_queries
+from repro.synthesis.ranking import rank_queries
+from repro.table.table import Table
+
+
+def _make(name_or_abs: str | Abstraction, config: SynthesisConfig) -> Abstraction:
+    if isinstance(name_or_abs, Abstraction):
+        return name_or_abs
+    if name_or_abs == "provenance":
+        return make_abstraction(
+            "provenance", target_refinement=config.target_refinement,
+            value_shadow=config.value_shadow,
+            head_typing=config.head_typing)
+    return make_abstraction(name_or_abs)
+
+
+class Synthesizer:
+    """Reusable synthesis engine bound to one abstraction technique."""
+
+    def __init__(self, abstraction: str | Abstraction = "provenance",
+                 config: SynthesisConfig | None = None) -> None:
+        self.config = config or SynthesisConfig()
+        self.abstraction = _make(abstraction, self.config)
+
+    def run(self, tables: Sequence[Table], demo: Demonstration,
+            stop_predicate: Callable[[Query], bool] | None = None,
+            config: SynthesisConfig | None = None) -> SynthesisResult:
+        env = Env(tuple(tables))
+        result = enumerate_queries(env, demo, config or self.config,
+                                   self.abstraction, stop_predicate)
+        result.queries = rank_queries(result.queries)
+        return result
+
+    def reset(self) -> None:
+        """Clear all evaluation caches (between independent experiment runs)."""
+        self.abstraction.reset()
+        concrete.clear_cache()
+        tracking.clear_cache()
+
+
+def synthesize(tables: Sequence[Table], demo: Demonstration,
+               abstraction: str | Abstraction = "provenance",
+               config: SynthesisConfig | None = None,
+               stop_predicate: Callable[[Query], bool] | None = None,
+               ) -> SynthesisResult:
+    """Synthesize analytical SQL queries consistent with a demonstration.
+
+    Parameters
+    ----------
+    tables:
+        The input tables ¯T.
+    demo:
+        The computation demonstration E.
+    abstraction:
+        ``"provenance"`` (Sickle), ``"value"`` (Scythe-style), ``"type"``
+        (Morpheus-style) or ``"none"``; or a pre-built
+        :class:`~repro.abstraction.base.Abstraction`.
+    config:
+        Search-space and budget knobs; see :class:`SynthesisConfig`.
+    stop_predicate:
+        Optional: stop as soon as a consistent query satisfies it.
+
+    Returns
+    -------
+    SynthesisResult
+        Ranked consistent queries plus search statistics.
+    """
+    return Synthesizer(abstraction, config).run(tables, demo, stop_predicate)

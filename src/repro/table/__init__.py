@@ -1,0 +1,29 @@
+"""Ordered-bag table substrate (paper §3.1).
+
+A table is an ordered bag of tuples.  Row order is meaningful only to
+order-dependent operators (``sort``, ``cumsum``, ``rank``); equality is bag
+equality.  Cells hold numbers, strings, booleans or ``None`` (SQL NULL).
+"""
+
+from repro.table.schema import ColumnType, ForeignKey, Schema, infer_type
+from repro.table.table import Table
+from repro.table.values import (
+    is_numeric,
+    value_eq,
+    value_lt,
+    value_sort_key,
+    value_type,
+)
+
+__all__ = [
+    "Table",
+    "Schema",
+    "ColumnType",
+    "ForeignKey",
+    "infer_type",
+    "is_numeric",
+    "value_eq",
+    "value_lt",
+    "value_type",
+    "value_sort_key",
+]

@@ -1,0 +1,76 @@
+"""Table I/O: CSV round-tripping and monospace pretty printing."""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Sequence
+
+from repro.table.table import Table
+from repro.table.values import Value
+
+
+def _parse_cell(text: str) -> Value:
+    """Parse a CSV cell: empty → NULL, numeric-looking → number, else string."""
+    if text == "":
+        return None
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def load_csv(name: str, text: str, primary_key: Sequence[str] = (),
+             foreign_keys: Sequence = ()) -> Table:
+    """Load a table from CSV text (first line is the header)."""
+    reader = csv.reader(io.StringIO(text.strip()))
+    header = next(reader)
+    rows = [[_parse_cell(cell) for cell in row] for row in reader if row]
+    return Table.from_rows(name, [h.strip() for h in header], rows,
+                           primary_key=primary_key, foreign_keys=foreign_keys)
+
+
+def dump_csv(table: Table) -> str:
+    """Serialize a table to CSV text."""
+    out = io.StringIO()
+    writer = csv.writer(out, lineterminator="\n")
+    writer.writerow(table.columns)
+    for row in table.rows:
+        writer.writerow(["" if v is None else v for v in row])
+    return out.getvalue()
+
+
+def _render_cell(v: Value) -> str:
+    if v is None:
+        return "NULL"
+    if isinstance(v, float):
+        if v == int(v):
+            return f"{int(v)}.0"
+        return f"{v:.4g}"
+    return str(v)
+
+
+def format_table(table: Table, max_rows: int = 50) -> str:
+    """Render a table in an aligned monospace grid (for examples / docs)."""
+    shown = list(table.rows[:max_rows])
+    cells = [[str(c) for c in table.columns]]
+    cells += [[_render_cell(v) for v in row] for row in shown]
+    widths = [max(len(row[j]) for row in cells) for j in range(table.n_cols)] \
+        if table.n_cols else []
+    lines = []
+    header = " | ".join(cells[0][j].ljust(widths[j]) for j in range(table.n_cols))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append(" | ".join(row[j].ljust(widths[j]) for j in range(table.n_cols)))
+    if table.n_rows > max_rows:
+        lines.append(f"... ({table.n_rows - max_rows} more rows)")
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Schemas: column names, coarse column types and key metadata.
+
+Key metadata (primary / foreign keys) feeds the synthesizer's join-predicate
+domain: as in the paper (§5.1), join predicates are enumerated only over
+declared key relationships to avoid unnatural predicates such as
+``T1.id < T2.age``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+from repro.table.values import Value, value_type
+
+# Coarse column types produced by inference.
+ColumnType = str  # one of: "number", "string", "bool", "null", "mixed"
+
+
+def infer_type(values: list[Value]) -> ColumnType:
+    """Infer the coarse type of a column from its non-null values."""
+    seen = {value_type(v) for v in values if v is not None}
+    if not seen:
+        return "null"
+    if len(seen) == 1:
+        return next(iter(seen))
+    return "mixed"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """``column`` of this table references ``ref_column`` of ``ref_table``."""
+
+    column: str
+    ref_table: str
+    ref_column: str
+
+
+@dataclass(frozen=True)
+class Schema:
+    """Column names plus optional key metadata.
+
+    ``columns`` is the authoritative order; ``types`` is parallel to it.
+    """
+
+    columns: tuple[str, ...]
+    types: tuple[ColumnType, ...]
+    primary_key: tuple[str, ...] = ()
+    foreign_keys: tuple[ForeignKey, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if len(self.columns) != len(set(self.columns)):
+            raise SchemaError(f"duplicate column names in {self.columns}")
+        if len(self.types) != len(self.columns):
+            raise SchemaError("types must be parallel to columns")
+        for key_col in self.primary_key:
+            if key_col not in self.columns:
+                raise SchemaError(f"primary key column {key_col!r} not in schema")
+        for fk in self.foreign_keys:
+            if fk.column not in self.columns:
+                raise SchemaError(f"foreign key column {fk.column!r} not in schema")
+
+    def index_of(self, column: str) -> int:
+        try:
+            return self.columns.index(column)
+        except ValueError:
+            raise SchemaError(f"no column named {column!r}; have {self.columns}") from None
+
+    def type_of(self, col: int | str) -> ColumnType:
+        if isinstance(col, str):
+            col = self.index_of(col)
+        return self.types[col]
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)

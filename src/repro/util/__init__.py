@@ -1,0 +1,13 @@
+"""Small shared utilities: bipartite matching, deterministic RNG, timers."""
+
+from repro.util.matching import bipartite_match, injective_assignment_exists
+from repro.util.rng import stable_rng
+from repro.util.timer import Deadline, Stopwatch
+
+__all__ = [
+    "bipartite_match",
+    "injective_assignment_exists",
+    "stable_rng",
+    "Deadline",
+    "Stopwatch",
+]

@@ -1,0 +1,144 @@
+"""Bipartite matching used by the table-level consistency checks.
+
+Both the concrete consistency judgment (Definition 1) and the abstract one
+(Definition 3) ask for an *injective* assignment of demonstration rows to
+output rows (and demonstration columns to output columns).  The tables
+involved are tiny — demonstrations have two or three rows and a handful of
+columns — so a simple augmenting-path matcher is more than fast enough and
+keeps the library dependency-free.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+
+def bipartite_match(n_left: int, n_right: int,
+                    edge: Callable[[int, int], bool]) -> list[int] | None:
+    """Find a matching that saturates the left side, or ``None``.
+
+    ``edge(i, j)`` reports whether left node ``i`` may be assigned to right
+    node ``j``.  Returns ``assign`` with ``assign[i] = j`` for every left
+    node, each ``j`` distinct, or ``None`` when no saturating matching
+    exists.  Classic Kuhn augmenting-path algorithm, O(V * E).
+    """
+    if n_left > n_right:
+        return None
+    match_right: list[int | None] = [None] * n_right
+
+    def try_augment(i: int, seen: list[bool]) -> bool:
+        for j in range(n_right):
+            if seen[j] or not edge(i, j):
+                continue
+            seen[j] = True
+            if match_right[j] is None or try_augment(match_right[j], seen):
+                match_right[j] = i
+                return True
+        return False
+
+    for i in range(n_left):
+        if not try_augment(i, [False] * n_right):
+            return None
+    assign: list[int] = [-1] * n_left
+    for j, i in enumerate(match_right):
+        if i is not None:
+            assign[i] = j
+    return assign
+
+
+def injective_assignment_exists(n_left: int, n_right: int,
+                                edge: Callable[[int, int], bool]) -> bool:
+    """True when an injective left-to-right assignment exists."""
+    return bipartite_match(n_left, n_right, edge) is not None
+
+
+def subsequence_match(needles: Sequence, haystack: Sequence,
+                      matches: Callable[[object, object], bool]) -> bool:
+    """True when ``needles`` embeds into ``haystack`` as a subsequence.
+
+    Greedy scan is *not* sufficient in general because ``matches`` is a
+    relation, not equality; we use backtracking (inputs are tiny).
+    """
+
+    def go(ni: int, hi: int) -> bool:
+        if ni == len(needles):
+            return True
+        if len(haystack) - hi < len(needles) - ni:
+            return False
+        for j in range(hi, len(haystack)):
+            if matches(needles[ni], haystack[j]) and go(ni + 1, j + 1):
+                return True
+        return False
+
+    return go(0, 0)
+
+
+def embedding_exists(n_demo_rows: int, n_demo_cols: int,
+                     n_rows: int, n_cols: int,
+                     cell_ok: Callable[[int, int, int, int], bool]) -> bool:
+    """Injective embedding of a demo grid into an output grid.
+
+    Searches for injective assignments of demo columns to output columns and
+    demo rows to output rows such that ``cell_ok(i, j, r, c)`` holds for every
+    demo cell ``(i, j)`` mapped to output cell ``(r, c)``.  This is the shared
+    shape of table-level consistency (Definition 1) and abstract provenance
+    consistency (Definition 3); only ``cell_ok`` differs.
+
+    Columns are assigned by backtracking (few of them); each full column
+    assignment is closed with a bipartite row matching.
+    """
+    if n_demo_rows > n_rows or n_demo_cols > n_cols:
+        return False
+
+    # Candidate output columns per demo column: every demo row must be
+    # matchable by *some* output row — a cheap necessary condition that
+    # prunes the backtracking hard.
+    candidates: list[list[int]] = []
+    for j in range(n_demo_cols):
+        cols = [c for c in range(n_cols)
+                if all(any(cell_ok(i, j, r, c) for r in range(n_rows))
+                       for i in range(n_demo_rows))]
+        if not cols:
+            return False
+        candidates.append(cols)
+
+    assignment: list[int] = []
+
+    def rows_match() -> bool:
+        return bipartite_match(
+            n_demo_rows, n_rows,
+            lambda i, r: all(cell_ok(i, j, r, assignment[j])
+                             for j in range(n_demo_cols))) is not None
+
+    def assign_columns(j: int) -> bool:
+        if j == n_demo_cols:
+            return rows_match()
+        for c in candidates[j]:
+            if c in assignment:
+                continue
+            assignment.append(c)
+            if assign_columns(j + 1):
+                return True
+            assignment.pop()
+        return False
+
+    return assign_columns(0)
+
+
+def multiset_match(needles: Sequence, haystack: Sequence,
+                   matches: Callable[[object, object], bool],
+                   exact: bool = False) -> bool:
+    """True when each needle matches a *distinct* haystack element.
+
+    With ``exact=True`` the match must be a bijection (same length and every
+    haystack element used) — this is the rule for complete commutative
+    expressions; without it, the rule for partial (``f♦``) ones.
+    """
+    if exact and len(needles) != len(haystack):
+        return False
+    if len(needles) > len(haystack):
+        return False
+    assign = bipartite_match(
+        len(needles), len(haystack),
+        lambda i, j: matches(needles[i], haystack[j]))
+    return assign is not None

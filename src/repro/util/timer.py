@@ -1,0 +1,38 @@
+"""Wall-clock helpers: stopwatches and soft deadlines for the search loop."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Measures elapsed wall-clock time; start on construction."""
+
+    def __init__(self) -> None:
+        self._start = time.monotonic()
+
+    def elapsed(self) -> float:
+        return time.monotonic() - self._start
+
+    def restart(self) -> None:
+        self._start = time.monotonic()
+
+
+class Deadline:
+    """A soft deadline polled by long-running loops.
+
+    ``Deadline(None)`` never expires, which lets callers write a single code
+    path for bounded and unbounded runs.
+    """
+
+    def __init__(self, seconds: float | None) -> None:
+        self.seconds = seconds
+        self._expiry = None if seconds is None else time.monotonic() + seconds
+
+    def expired(self) -> bool:
+        return self._expiry is not None and time.monotonic() >= self._expiry
+
+    def remaining(self) -> float | None:
+        if self._expiry is None:
+            return None
+        return max(0.0, self._expiry - time.monotonic())

@@ -1,0 +1,146 @@
+"""The Morpheus-style type and Scythe-style value abstraction baselines."""
+
+import pytest
+
+from repro.abstraction import TypeAbstraction, ValueAbstraction
+from repro.abstraction.type_abs import Shape, shape_of
+from repro.abstraction.value_abs import ColumnValues, column_values_of
+from repro.lang import (
+    Arithmetic,
+    Env,
+    Filter,
+    Group,
+    Hole,
+    Join,
+    Partition,
+    Proj,
+    TableRef,
+)
+from repro.provenance import Demonstration, cell, func, partial_func
+from repro.table import Table
+
+H = Hole
+
+
+@pytest.fixture
+def env(tiny_table):
+    return Env.of(tiny_table)
+
+
+class TestTypeShapes:
+    def test_concrete_shape_is_exact(self, env):
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        assert shape_of(q, env) == Shape.exact(2, 2)
+
+    def test_filter_hole_rows_interval(self, env):
+        q = Filter(TableRef("T"), pred=H("pred"))
+        s = shape_of(q, env)
+        assert (s.rows_min, s.rows_max) == (0, 5)
+
+    def test_group_with_known_keys_counts_groups(self, env):
+        q = Group(TableRef("T"), keys=(0,), agg_func=H("agg_func"),
+                  agg_col=H("agg_col"))
+        s = shape_of(q, env)
+        assert (s.rows_min, s.rows_max) == (2, 2)
+        assert (s.cols_min, s.cols_max) == (2, 2)
+
+    def test_group_unknown_keys_wide_interval(self, env):
+        q = Group(TableRef("T"), keys=H("keys"), agg_func=H("agg_func"),
+                  agg_col=H("agg_col"))
+        s = shape_of(q, env)
+        assert s.rows_max == 5
+        assert s.cols_max == 4
+
+    def test_partition_and_arith_add_column(self, env):
+        for node in (Partition(TableRef("T"), keys=H("keys"),
+                               agg_func=H("agg_func"), agg_col=H("agg_col")),
+                     Arithmetic(TableRef("T"), func=H("func"),
+                                cols=H("cols"))):
+            s = shape_of(node, env)
+            assert (s.cols_min, s.cols_max) == (4, 4)
+            assert (s.rows_min, s.rows_max) == (5, 5)
+
+    def test_join_shape(self, tiny_table):
+        other = Table.from_rows("N", ["K"], [[1], [2], [3]])
+        env = Env.of(tiny_table, other)
+        s = shape_of(Join(TableRef("T"), TableRef("N"), pred=H("pred")), env)
+        assert s.rows_max == 15
+        assert s.cols_max == 4
+
+    def test_proj_hole_cols(self, env):
+        s = shape_of(Proj(TableRef("T"), cols=H("cols")), env)
+        assert (s.cols_min, s.cols_max) == (1, 3)
+
+
+class TestTypeFeasibility:
+    def test_prunes_when_too_few_columns(self, env):
+        demo = Demonstration.of([[cell("T", 0, 0)] * 3] * 2)
+        q = Proj(Group(TableRef("T"), keys=(0,), agg_func=H("agg_func"),
+                       agg_col=H("agg_col")), cols=H("cols"))
+        assert not TypeAbstraction().feasible(q, env, demo)
+
+    def test_prunes_when_too_few_rows(self, env):
+        demo = Demonstration.of([[cell("T", i, 0)] for i in range(3)])
+        q = Proj(Group(TableRef("T"), keys=(0,), agg_func=H("agg_func"),
+                       agg_col=H("agg_col")), cols=H("cols"))
+        assert not TypeAbstraction().feasible(q, env, demo)
+
+    def test_cannot_see_wrong_grouping(self, health_env, paper_demo):
+        """The paper's q_B survives type abstraction (§2.2)."""
+        qb = Arithmetic(Group(TableRef("T"), keys=(0, 1, 4),
+                              agg_func=H("agg_func"), agg_col=H("agg_col")),
+                        func=H("func"), cols=H("cols"))
+        assert TypeAbstraction().feasible(qb, health_env, paper_demo)
+
+
+class TestValueColumns:
+    def test_concrete_columns_exact(self, env):
+        cols = column_values_of(TableRef("T"), env)
+        assert cols[0].known == frozenset(("A", "B"))
+        assert not cols[0].unknown
+
+    def test_aggregate_column_is_top(self, env):
+        q = Group(TableRef("T"), keys=(0,), agg_func=H("agg_func"),
+                  agg_col=H("agg_col"))
+        cols = column_values_of(q, env)
+        assert cols[-1].unknown
+
+    def test_covers(self):
+        cv = ColumnValues(frozenset((1, 2)), False)
+        assert cv.covers(2) and not cv.covers(3)
+        assert ColumnValues.top().covers(42)
+
+
+class TestValueFeasibility:
+    def test_prunes_impossible_value(self, env):
+        demo = Demonstration.of([
+            [cell("T", 0, 0), func("sum", cell("T", 0, 2))],
+            [cell("T", 3, 0), func("sum", cell("T", 3, 2))],
+        ])
+        # proj keeps only the key column: the sum value (10) exists nowhere
+        q = Proj(Group(TableRef("T"), keys=(0, 2), agg_func="count",
+                       agg_col=1), cols=H("cols"))
+        # count output column is top, so this SURVIVES; but a proj of the
+        # raw table only (no aggregate column) must be pruned
+        q2 = Proj(Filter(TableRef("T"), pred=H("pred")), cols=(0,))
+        assert not ValueAbstraction().feasible(q2, env, demo)
+
+    def test_unknown_columns_match_anything(self, health_env, paper_demo):
+        """The paper's q_B survives value abstraction (§2.2, table t_v2)."""
+        qb = Arithmetic(Group(TableRef("T"), keys=(0, 1, 4),
+                              agg_func=H("agg_func"), agg_col=H("agg_col")),
+                        func=H("func"), cols=H("cols"))
+        assert ValueAbstraction().feasible(qb, health_env, paper_demo)
+
+    def test_partial_cells_are_skipped(self, env):
+        demo = Demonstration.of([
+            [partial_func("sum", cell("T", 0, 2))],
+            [partial_func("sum", cell("T", 3, 2))],
+        ])
+        q = Proj(TableRef("T"), cols=H("cols"))
+        assert ValueAbstraction().feasible(q, env, demo)
+
+    def test_needs_enough_columns(self, env):
+        demo = Demonstration.of([[cell("T", 0, 0)] * 5] * 1)
+        q = Proj(TableRef("T"), cols=H("cols"))
+        assert not ValueAbstraction().feasible(q, env, demo)

@@ -1,0 +1,116 @@
+"""The 80-task benchmark suite: structure, validity, statistics."""
+
+import pytest
+
+from repro.benchmarks import (
+    all_tasks,
+    easy_tasks,
+    get_task,
+    hard_tasks,
+    task_summary,
+    tasks_by_suite,
+    validate_task,
+)
+from repro.errors import BenchmarkError
+from repro.provenance.consistency import demo_consistent
+from repro.semantics import evaluate, evaluate_tracking
+
+TASKS = all_tasks()
+
+
+class TestSuiteComposition:
+    """§5.1's benchmark profile."""
+
+    def test_eighty_tasks(self):
+        assert len(TASKS) == 80
+
+    def test_split_43_easy_37_hard(self):
+        assert len(easy_tasks()) == 43
+        assert len(hard_tasks()) == 37
+
+    def test_60_forum_20_tpcds(self):
+        assert len(tasks_by_suite("forum")) == 60
+        assert len(tasks_by_suite("tpcds")) == 20
+
+    def test_tpcds_all_hard(self):
+        assert all(t.difficulty == "hard" for t in tasks_by_suite("tpcds"))
+
+    def test_easy_tasks_use_1_to_3_operators(self):
+        assert all(1 <= t.operators_required <= 3 for t in easy_tasks())
+
+    def test_hard_tasks_use_4_to_7_operators(self):
+        assert all(4 <= t.operators_required <= 7 for t in hard_tasks())
+
+    def test_unique_names(self):
+        names = [t.name for t in TASKS]
+        assert len(names) == len(set(names))
+
+    def test_feature_mix(self):
+        summary = task_summary()
+        assert summary["requires_join"] >= 15
+        assert summary["requires_partition"] >= 45
+        assert summary["requires_group"] >= 30
+
+    def test_mean_demo_size_near_paper(self):
+        # paper: average demonstration size 9 cells (vs ~50 for full output)
+        summary = task_summary()
+        assert 6 <= summary["mean_demo_cells"] <= 12
+        assert summary["mean_full_output_cells"] >= \
+            3 * summary["mean_demo_cells"]
+
+
+class TestEveryTaskIsWellFormed:
+    @pytest.mark.parametrize("task", TASKS, ids=lambda t: t.name)
+    def test_validates(self, task):
+        validate_task(task)
+
+    @pytest.mark.parametrize("task", TASKS, ids=lambda t: t.name)
+    def test_demo_consistent_with_ground_truth(self, task):
+        tracked = evaluate_tracking(task.ground_truth, task.env)
+        assert demo_consistent(tracked.exprs, task.demonstration.cells)
+
+    @pytest.mark.parametrize("task", TASKS, ids=lambda t: t.name)
+    def test_ground_truth_within_budget(self, task):
+        assert task.operators_required <= task.config.max_operators
+
+    @pytest.mark.parametrize("task", TASKS, ids=lambda t: t.name)
+    def test_demonstration_deterministic(self, task):
+        from repro.spec import generate_demonstration
+        again = generate_demonstration(task.ground_truth, task.env,
+                                       task.demo_config, label=task.name)
+        assert again.cells == task.demonstration.cells
+
+
+class TestRegistry:
+    def test_get_task(self):
+        t = get_task("fe36_health_program_percentage")
+        assert t.suite == "forum"
+
+    def test_get_unknown_task(self):
+        with pytest.raises(KeyError):
+            get_task("nope")
+
+    def test_running_example_output_matches_paper(self):
+        t = get_task("fe36_health_program_percentage")
+        out = evaluate(t.ground_truth, t.env)
+        # Fig. 1: city A percentages 53.5, 64.1, 70.9, 88.3
+        a_rows = [row for row in out.rows if row[0] == "A"]
+        percentages = sorted(round(row[-1], 1) for row in a_rows)
+        assert percentages == [53.5, 64.2, 71.0, 88.4]
+
+
+class TestTaskInvariants:
+    def test_invalid_suite_rejected(self):
+        from repro.benchmarks.task import BenchmarkTask
+        from repro.synthesis import SynthesisConfig
+        from repro.lang import TableRef
+        t = TASKS[0]
+        with pytest.raises(BenchmarkError):
+            BenchmarkTask(name="x", suite="weird", difficulty="easy",
+                          description="", tables=t.tables,
+                          ground_truth=TableRef("T"),
+                          config=SynthesisConfig())
+
+    def test_features_derived_from_ground_truth(self):
+        t = get_task("fe23_amount_by_segment")
+        assert "join" in t.features and "group" in t.features

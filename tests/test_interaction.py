@@ -1,0 +1,102 @@
+"""Candidate disambiguation."""
+
+import pytest
+
+from repro.interaction import (
+    disambiguate_interactively,
+    distinguishing_cells,
+    partition_candidates,
+)
+from repro.lang import Env, Group, Partition, TableRef
+from repro.semantics import evaluate
+
+
+@pytest.fixture
+def env(tiny_table):
+    return Env.of(tiny_table)
+
+
+@pytest.fixture
+def candidates():
+    """Three candidates: sum-per-ID, avg-per-ID, max-per-ID."""
+    return [
+        Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2),
+        Group(TableRef("T"), keys=(0,), agg_func="avg", agg_col=2),
+        Group(TableRef("T"), keys=(0,), agg_func="max", agg_col=2),
+    ]
+
+
+class TestPartition:
+    def test_distinct_candidates_distinct_classes(self, candidates, env):
+        classes = partition_candidates(candidates, env)
+        assert len(classes) == 3
+
+    def test_equivalent_candidates_merge(self, env):
+        a = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        b = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2,
+                  alias="Total")
+        classes = partition_candidates([a, b], env)
+        assert classes == [[0, 1]]
+
+
+class TestDistinguishingCells:
+    def test_found_on_aggregate_column(self, candidates, env):
+        cells = distinguishing_cells(candidates, env)
+        assert cells
+        # the key column (col 0) never distinguishes; the aggregate does
+        assert all(c.col == 1 for c in cells)
+
+    def test_options_cover_all_candidates(self, candidates, env):
+        cell = distinguishing_cells(candidates, env)[0]
+        covered = sorted(i for _, ids in cell.options for i in ids)
+        assert covered == [0, 1, 2]
+
+    def test_no_cells_for_identical_candidates(self, env):
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        assert distinguishing_cells([q, q], env) == []
+
+
+class TestInteractiveLoop:
+    def test_oracle_drives_to_target(self, candidates, env):
+        target = candidates[1]  # the avg query
+        target_out = evaluate(target, env)
+
+        def oracle(cell):
+            return target_out.cell(cell.row, cell.col)
+
+        alive = disambiguate_interactively(candidates, env, oracle)
+        assert alive == [1]
+
+    def test_each_target_recoverable(self, candidates, env):
+        for wanted in range(3):
+            target_out = evaluate(candidates[wanted], env)
+
+            def oracle(cell):
+                return target_out.cell(cell.row, cell.col)
+
+            assert disambiguate_interactively(candidates, env,
+                                              oracle) == [wanted]
+
+    def test_works_with_synthesizer_output(self, tiny_table, env):
+        """End to end: synthesize candidates, then disambiguate."""
+        from repro import Demonstration, SynthesisConfig, cell as cref, func
+        from repro.synthesis import synthesize
+        demo = Demonstration.of([
+            [cref("T", 0, 0), func("sum", cref("T", 0, 2), cref("T", 1, 2),
+                                   cref("T", 2, 2))],
+            [cref("T", 3, 0), func("sum", cref("T", 3, 2), cref("T", 4, 2))],
+        ])
+        result = synthesize([tiny_table], demo,
+                            config=SynthesisConfig(max_operators=2,
+                                                   timeout_s=15, top_n=5))
+        assert len(result.queries) >= 2
+        gt = result.queries[0]
+        gt_out = evaluate(gt, env)
+
+        def oracle(cell):
+            return gt_out.cell(cell.row, cell.col)
+
+        alive = disambiguate_interactively(result.queries, env, oracle)
+        classes = partition_candidates(
+            [result.queries[i] for i in alive], env)
+        assert len(classes) == 1  # survivors are observationally equivalent

@@ -1,0 +1,137 @@
+"""Unit tests for the function registries (aggregates, rankers, arithmetic)."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.lang.functions import (
+    AGGREGATE_FUNCTIONS,
+    ANALYTIC_FUNCTIONS,
+    ARITHMETIC_FUNCTIONS,
+    analytic_spec,
+    apply_function,
+    function_spec,
+)
+
+
+class TestRegistry:
+    def test_paper_aggregates_present(self):
+        assert set(AGGREGATE_FUNCTIONS) == {"sum", "avg", "max", "min", "count"}
+
+    def test_paper_analytics_present(self):
+        for name in ("cumsum", "rank", "dense_rank"):
+            assert name in ANALYTIC_FUNCTIONS
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError):
+            function_spec("median")
+
+    def test_flattenable_set(self):
+        assert function_spec("sum").flattenable
+        assert function_spec("max").flattenable
+        assert function_spec("min").flattenable
+        assert not function_spec("avg").flattenable
+        assert not function_spec("count").flattenable
+
+    def test_commutativity(self):
+        assert function_spec("add").commutative
+        assert function_spec("mul").commutative
+        assert not function_spec("sub").commutative
+        assert not function_spec("div").commutative
+        assert function_spec("sum").commutative
+
+    def test_rank_style(self):
+        assert function_spec("rank").arg_style == "ranked"
+
+
+class TestAggregates:
+    def test_sum(self):
+        assert apply_function("sum", [1, 2, 3]) == 6
+
+    def test_sum_skips_null(self):
+        assert apply_function("sum", [1, None, 3]) == 4
+
+    def test_sum_empty(self):
+        assert apply_function("sum", []) == 0
+
+    def test_avg(self):
+        assert apply_function("avg", [2, 4]) == 3
+
+    def test_avg_empty_is_null(self):
+        assert apply_function("avg", [None]) is None
+
+    def test_max_min(self):
+        assert apply_function("max", [3, 9, 1]) == 9
+        assert apply_function("min", [3, 9, 1]) == 1
+
+    def test_count_excludes_null(self):
+        assert apply_function("count", [1, None, "x"]) == 2
+
+
+class TestRankers:
+    def test_rank_ascending(self):
+        # rank of value 5 among [5, 3, 8]: one smaller value -> rank 2
+        assert apply_function("rank", [5, 5, 3, 8]) == 2
+
+    def test_rank_desc(self):
+        assert apply_function("rank_desc", [5, 5, 3, 8]) == 2
+
+    def test_rank_ties_competition_style(self):
+        # two values tie below: rank skips
+        assert apply_function("rank", [9, 3, 3, 9]) == 3
+
+    def test_dense_rank_ties(self):
+        assert apply_function("dense_rank", [9, 3, 3, 9]) == 2
+
+    def test_rank_requires_argument(self):
+        with pytest.raises(ExpressionError):
+            apply_function("rank", [])
+
+
+class TestArithmetic:
+    def test_all_binary(self):
+        for name in ARITHMETIC_FUNCTIONS:
+            assert function_spec(name).arity == 2
+
+    def test_div_by_zero_is_null(self):
+        assert apply_function("div", [1, 0]) is None
+
+    def test_percent(self):
+        assert apply_function("percent", [1, 4]) == 25
+
+    def test_pct_change(self):
+        assert apply_function("pct_change", [110, 100]) == pytest.approx(10.0)
+
+    def test_null_propagates(self):
+        assert apply_function("add", [None, 1]) is None
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(ExpressionError):
+            apply_function("add", [1, 2, 3])
+
+
+class TestAnalyticSpecs:
+    def test_cumsum_prefix(self):
+        spec = analytic_spec("cumsum")
+        assert spec.term_name == "sum"
+        assert spec.row_args([10, 20, 30], 1) == (10, 20)
+        assert spec.order_dependent
+
+    def test_aggregate_window_sees_whole_group(self):
+        spec = analytic_spec("sum")
+        assert spec.row_args([1, 2, 3], 0) == (1, 2, 3)
+        assert not spec.order_dependent
+
+    def test_rank_args_put_own_value_first(self):
+        spec = analytic_spec("rank")
+        assert spec.row_args([7, 8, 9], 2) == (9, 7, 8, 9)
+
+    def test_unknown_analytic_rejected(self):
+        with pytest.raises(ExpressionError):
+            analytic_spec("ntile")
+
+    def test_window_evaluation_matches_direct(self):
+        values = [4, 1, 3]
+        spec = analytic_spec("cumsum")
+        results = [apply_function(spec.term_name, spec.row_args(values, i))
+                   for i in range(3)]
+        assert results == [4, 5, 8]

@@ -1,0 +1,148 @@
+"""The instruction-syntax parser and its round-trip with the renderer."""
+
+import pytest
+
+from repro.lang import Env, to_instructions
+from repro.lang.ast import (
+    Arithmetic,
+    Filter,
+    Group,
+    Join,
+    LeftJoin,
+    Partition,
+    Proj,
+    Sort,
+)
+from repro.lang.parser import ParseError, parse_instructions
+from repro.lang.predicates import ColCmp, ConstCmp
+from repro.semantics import evaluate
+from repro.table import Table
+
+
+@pytest.fixture
+def env(tiny_table):
+    return Env.of(tiny_table)
+
+
+class TestBasicParsing:
+    def test_group_with_indices(self):
+        q = parse_instructions("t1 <- group(T, [c0], sum, c2)")
+        assert q == Group(q.child, keys=(0,), agg_func="sum", agg_col=2)
+
+    def test_group_with_names(self, env):
+        q = parse_instructions("t1 <- group(T, [ID], sum, Sales)", env)
+        assert isinstance(q, Group)
+        assert q.keys == (0,) and q.agg_col == 2
+
+    def test_partition(self, env):
+        q = parse_instructions(
+            "t1 <- partition(T, [ID], cumsum, Sales)", env)
+        assert isinstance(q, Partition)
+        assert q.agg_func == "cumsum"
+
+    def test_arithmetic(self, env):
+        q = parse_instructions("t1 <- arithmetic(T, mul, [Units, Price])",
+                               Env.of(Table.from_rows(
+                                   "T", ["Units", "Price"], [[1, 2]])))
+        assert isinstance(q, Arithmetic)
+        assert q.cols == (0, 1)
+
+    def test_filter_const(self, env):
+        q = parse_instructions("t1 <- filter(T, Sales > 12)", env)
+        assert isinstance(q, Filter)
+        assert q.pred == ConstCmp(2, ">", 12)
+
+    def test_filter_string_const(self, env):
+        q = parse_instructions("t1 <- filter(T, ID == 'A')", env)
+        assert q.pred == ConstCmp(0, "==", "A")
+
+    def test_filter_col_col(self, env):
+        q = parse_instructions("t1 <- filter(T, Quarter < Sales)", env)
+        assert q.pred == ColCmp(1, "<", 2)
+
+    def test_sort_and_proj(self, env):
+        q = parse_instructions("""
+            t1 <- sort(T, [Sales], desc)
+            t2 <- proj(t1, [c0, c2])
+        """, env)
+        assert isinstance(q, Proj)
+        assert isinstance(q.child, Sort)
+        assert q.child.ascending is False
+
+    def test_empty_keys(self, env):
+        q = parse_instructions("t1 <- group(T, [], sum, c2)", env)
+        assert q.keys == ()
+
+
+class TestPipelines:
+    def test_chained_intermediates(self, env):
+        q = parse_instructions("""
+            # the intro example
+            t1 <- group(T, [ID], sum, Sales)
+            t2 <- partition(t1, [], rank_desc, c1)
+        """, env)
+        assert isinstance(q, Partition)
+        assert isinstance(q.child, Group)
+        out = evaluate(q, env)
+        assert out.n_rows == 2
+
+    def test_join_with_pred(self, tiny_table):
+        names = Table.from_rows("N", ["ID", "Label"], [["A", "x"]])
+        env = Env.of(tiny_table, names)
+        q = parse_instructions("t1 <- join(T, N, c0 == c3)", env)
+        assert isinstance(q, Join)
+        assert q.pred == ColCmp(0, "==", 3)
+
+    def test_left_join(self, tiny_table):
+        names = Table.from_rows("N", ["ID", "Label"], [["A", "x"]])
+        env = Env.of(tiny_table, names)
+        q = parse_instructions("t1 <- left_join(T, N, c0 == c3)", env)
+        assert isinstance(q, LeftJoin)
+
+    def test_round_trip_with_renderer(self, health_env):
+        # alias-free variant of the running example (rendered names must be
+        # reconstructible by the parser, which cannot know user aliases)
+        gt = parse_instructions("""
+            t1 <- group(T, [City, Quarter, Population], sum, Enrolled)
+            t2 <- partition(t1, [City], cumsum, c3)
+            t3 <- arithmetic(t2, percent, [c4, c2])
+        """, health_env)
+        text = to_instructions(gt, health_env)
+        parsed = parse_instructions(text, health_env)
+        assert parsed == gt
+        assert evaluate(parsed, health_env).same_rows(
+            evaluate(gt, health_env))
+
+
+class TestErrors:
+    def test_unknown_operator(self):
+        with pytest.raises(ParseError):
+            parse_instructions("t1 <- pivot(T, [c0])")
+
+    def test_unknown_function(self, env):
+        with pytest.raises(ParseError):
+            parse_instructions("t1 <- group(T, [c0], median, c2)", env)
+
+    def test_unknown_column_name(self, env):
+        with pytest.raises(ParseError):
+            parse_instructions("t1 <- group(T, [Nope], sum, c2)", env)
+
+    def test_unknown_table(self, env):
+        with pytest.raises(ParseError):
+            parse_instructions("t1 <- group(X, [c0], sum, c2)", env)
+
+    def test_wrong_arity(self, env):
+        with pytest.raises(ParseError):
+            parse_instructions("t1 <- group(T, [c0], sum)", env)
+
+    def test_bad_predicate(self, env):
+        with pytest.raises(ParseError):
+            parse_instructions("t1 <- filter(T, Sales !! 3)", env)
+
+    def test_empty_text(self, env):
+        with pytest.raises(ParseError):
+            parse_instructions("   \n  # just a comment\n", env)
+
+    def test_bad_sort_direction(self, env):
+        with pytest.raises(ParseError):
+            parse_instructions("t1 <- sort(T, [c0], sideways)", env)

@@ -1,0 +1,120 @@
+"""SQL and instruction-style rendering."""
+
+import pytest
+
+from repro.errors import HoleError
+from repro.lang import (
+    Arithmetic,
+    Env,
+    Filter,
+    Group,
+    Hole,
+    Join,
+    Partition,
+    Proj,
+    Sort,
+    TableRef,
+    to_instructions,
+    to_sql,
+)
+from repro.lang.naming import fresh_name, joined_columns, output_columns
+from repro.lang.predicates import ColCmp, ConstCmp
+
+
+@pytest.fixture
+def env(tiny_table):
+    return Env.of(tiny_table)
+
+
+class TestNaming:
+    def test_fresh_name(self):
+        assert fresh_name("x", ["x", "x_2"]) == "x_3"
+        assert fresh_name("y", ["x"]) == "y"
+
+    def test_joined_columns(self):
+        assert joined_columns(["a", "b"], ["b", "c"]) == ["a", "b", "b_2", "c"]
+
+    def test_group_output_columns(self, env):
+        q = Group(TableRef("T"), keys=(0, 1), agg_func="sum", agg_col=2)
+        assert output_columns(q, env) == ["ID", "Quarter", "sum_Sales"]
+
+    def test_alias_respected(self, env):
+        q = Partition(TableRef("T"), keys=(0,), agg_func="cumsum", agg_col=2,
+                      alias="Running")
+        assert output_columns(q, env)[-1] == "Running"
+
+    def test_arithmetic_default_name(self, env):
+        q = Arithmetic(TableRef("T"), func="div", cols=(2, 1))
+        assert output_columns(q, env)[-1] == "div(Sales, Quarter)"
+
+    def test_partial_query_raises(self, env):
+        q = Group(TableRef("T"), keys=Hole("keys"), agg_func="sum", agg_col=2)
+        with pytest.raises(HoleError):
+            output_columns(q, env)
+
+
+class TestSqlRendering:
+    def test_group_renders_group_by(self, env):
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        sql = to_sql(q, env)
+        assert "GROUP BY ID" in sql
+        assert "SUM(Sales)" in sql
+
+    def test_partition_renders_over(self, env):
+        q = Partition(TableRef("T"), keys=(0,), agg_func="cumsum", agg_col=2)
+        sql = to_sql(q, env)
+        assert "CUMSUM(Sales) OVER (PARTITION BY ID)" in sql
+
+    def test_filter_renders_where(self, env):
+        q = Filter(TableRef("T"), ConstCmp(2, ">", 10))
+        assert "WHERE Sales > 10" in to_sql(q, env)
+
+    def test_string_constants_quoted(self, env):
+        q = Filter(TableRef("T"), ConstCmp(0, "==", "A"))
+        assert "WHERE ID = 'A'" in to_sql(q, env)
+
+    def test_join_renders_on(self, tiny_table):
+        from repro.table import Table
+        other = Table.from_rows("N", ["ID", "L"], [["A", 1]])
+        env = Env.of(tiny_table, other)
+        q = Join(TableRef("T"), TableRef("N"), pred=ColCmp(0, "==", 3))
+        sql = to_sql(q, env)
+        assert "JOIN" in sql and "ON ID = ID_2" in sql
+
+    def test_arithmetic_uses_template(self, env):
+        q = Arithmetic(TableRef("T"), func="percent", cols=(2, 1))
+        assert "Sales / Quarter * 100" in to_sql(q, env)
+
+    def test_sort_renders_order_by(self, env):
+        q = Sort(TableRef("T"), cols=(2,), ascending=False)
+        assert "ORDER BY Sales DESC" in to_sql(q, env)
+
+    def test_running_example_matches_paper_shape(self, health_env,
+                                                 ground_truth):
+        sql = to_sql(ground_truth, health_env)
+        assert "GROUP BY City, Quarter, Population" in sql
+        assert "OVER (PARTITION BY City)" in sql
+        assert sql.rstrip().endswith(";")
+
+    def test_partial_query_rejected(self, env):
+        q = Filter(TableRef("T"), Hole("pred"))
+        with pytest.raises(HoleError):
+            to_sql(q, env)
+
+
+class TestInstructionRendering:
+    def test_paper_style_lines(self, health_env, ground_truth):
+        text = to_instructions(ground_truth, health_env)
+        lines = text.splitlines()
+        assert lines[0].startswith("t1 <- group(T, [City, Quarter, Population]")
+        assert "partition(t1, [City], cumsum" in lines[1]
+        assert "arithmetic(t2, percent" in lines[2]
+
+    def test_holes_render_as_boxes(self, env):
+        q = Group(TableRef("T"), keys=Hole("keys"), agg_func=Hole("agg_func"),
+                  agg_col=Hole("agg_col"))
+        assert "□" in to_instructions(q, env)
+
+    def test_works_without_env(self, ground_truth):
+        text = to_instructions(ground_truth)
+        assert "group(T" in text

@@ -1,0 +1,62 @@
+"""Property-based soundness of the *baseline* abstractions.
+
+Type and value abstraction must also never prune the ground-truth path —
+they are weaker than provenance abstraction but still sound (§5.1 evaluates
+them in the same framework, so an unsound baseline would invalidate the
+comparison).  Also: provenance pruning implies baseline-visible pruning
+never contradicts it on the ground-truth path.
+"""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.abstraction import TypeAbstraction, ValueAbstraction
+from repro.lang import Env
+from repro.lang.holes import fill, first_hole, is_concrete
+from repro.semantics import evaluate
+from repro.spec import DemoGenConfig, generate_demonstration
+from tests.test_properties import (
+    _parameter_values,
+    _skeletonize,
+    table_query_pairs,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_query_pairs(), st.integers(min_value=0, max_value=3),
+       st.data())
+def test_type_abstraction_never_prunes_ground_truth(pair, seed, data):
+    table, query = pair
+    env = Env.of(table)
+    assume(evaluate(query, env).n_rows >= 1)
+    demo = generate_demonstration(query, env, DemoGenConfig(seed=seed),
+                                  label="prop-type")
+    partial = _random_partialization(query, data)
+    if not is_concrete(partial):
+        assert TypeAbstraction().feasible(partial, env, demo)
+
+
+@settings(max_examples=40, deadline=None)
+@given(table_query_pairs(), st.integers(min_value=0, max_value=3),
+       st.data())
+def test_value_abstraction_never_prunes_ground_truth(pair, seed, data):
+    table, query = pair
+    env = Env.of(table)
+    assume(evaluate(query, env).n_rows >= 1)
+    demo = generate_demonstration(query, env, DemoGenConfig(seed=seed),
+                                  label="prop-value")
+    partial = _random_partialization(query, data)
+    if not is_concrete(partial):
+        assert ValueAbstraction().feasible(partial, env, demo)
+
+
+def _random_partialization(query, data):
+    from hypothesis import strategies as st
+    skeleton = _skeletonize(query)
+    values = _parameter_values(query)
+    prefix_len = data.draw(st.integers(min_value=0, max_value=len(values)))
+    partial = skeleton
+    for value in values[:prefix_len]:
+        partial = fill(partial, first_hole(partial), value)
+    return partial

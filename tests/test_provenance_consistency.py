@@ -1,0 +1,143 @@
+"""The ≺ judgment (Fig. 10) and table-level consistency (Definition 1)."""
+
+from repro.provenance import (
+    cell,
+    const,
+    demo_consistent,
+    func,
+    generalizes,
+    group,
+    partial_func,
+)
+
+A, B, C, D, E5 = (cell("T", i, 0) for i in range(5))
+
+
+class TestLeafRules:
+    def test_const_matches_const(self):
+        assert generalizes(const(5), const(5))
+        assert not generalizes(const(5), const(6))
+
+    def test_const_float_tolerance(self):
+        assert generalizes(const(2.0), const(2))
+
+    def test_cellref_identity(self):
+        assert generalizes(A, A)
+        assert not generalizes(A, B)
+
+    def test_ref_does_not_match_const(self):
+        assert not generalizes(A, const(1))
+        assert not generalizes(const(1), A)
+
+
+class TestGroupRule:
+    def test_any_member_witnesses(self):
+        g = group([A, B])
+        assert generalizes(g, A)
+        assert generalizes(g, B)
+        assert not generalizes(g, C)
+
+    def test_nested_member_expression(self):
+        g = group([func("sum", A, B)])
+        assert generalizes(g, func("sum", A, B))
+
+    def test_demo_cannot_be_group(self):
+        # groups only appear on the tracked side
+        assert not generalizes(A, group([A]))
+
+
+class TestCommutativeMatching:
+    def test_complete_requires_bijection(self):
+        tracked = func("sum", A, B, C)
+        assert generalizes(tracked, func("sum", C, A, B))  # any order
+        assert not generalizes(tracked, func("sum", A, B))  # missing arg
+
+    def test_partial_allows_subset(self):
+        tracked = func("sum", A, B, C, D)
+        assert generalizes(tracked, partial_func("sum", D, B))
+        assert generalizes(tracked, partial_func("sum", A))
+
+    def test_partial_rejects_foreign_values(self):
+        tracked = func("sum", A, B)
+        assert not generalizes(tracked, partial_func("sum", A, C))
+
+    def test_partial_args_must_map_injectively(self):
+        tracked = func("sum", A, B)
+        assert not generalizes(tracked, partial_func("sum", A, A, A))
+
+
+class TestPositionalMatching:
+    def test_complete_positional(self):
+        tracked = func("div", A, B)
+        assert generalizes(tracked, func("div", A, B))
+        assert not generalizes(tracked, func("div", B, A))
+
+    def test_partial_positional_is_subsequence(self):
+        tracked = func("percent", func("sum", A, B, C, D), E5)
+        # omissions in the middle of the sum (the paper's Fig. 3)
+        demo = func("percent", partial_func("sum", A, D), E5)
+        assert generalizes(tracked, demo)
+
+    def test_partial_subsequence_rejects_reordering(self):
+        tracked = func("div", A, B)
+        assert not generalizes(tracked, partial_func("div", B, A))
+
+
+class TestRankedMatching:
+    def test_first_argument_positional(self):
+        tracked = func("rank", A, A, B, C)
+        assert generalizes(tracked, partial_func("rank", A, C))
+        assert not generalizes(tracked, partial_func("rank", B, A))
+
+    def test_complete_rank_needs_whole_pool(self):
+        tracked = func("rank", A, A, B)
+        assert generalizes(tracked, func("rank", A, B, A))
+        assert not generalizes(tracked, func("rank", A, A))
+
+
+class TestNestedStructures:
+    def test_function_name_must_match(self):
+        assert not generalizes(func("sum", A, B), func("avg", A, B))
+
+    def test_flattening_applied_before_matching(self):
+        tracked = func("sum", func("sum", A, B), C)
+        assert generalizes(tracked, func("sum", A, B, C))
+
+    def test_group_inside_application(self):
+        tracked = func("percent", func("sum", A, B), group([C, D]))
+        assert generalizes(tracked, func("percent", func("sum", A, B), C))
+        assert generalizes(tracked, func("percent", func("sum", A, B), D))
+
+
+class TestTableLevel:
+    def test_paper_running_example(self, health_env, ground_truth,
+                                    paper_demo):
+        from repro.semantics import evaluate_tracking
+        tracked = evaluate_tracking(ground_truth, health_env)
+        assert demo_consistent(tracked.exprs, paper_demo.cells)
+
+    def test_row_mapping_injective(self):
+        # two identical demo rows need two matching tracked rows
+        tracked = [[A]]
+        demo = [[A], [A]]
+        assert not demo_consistent(tracked, demo)
+
+    def test_column_mapping_injective(self):
+        tracked = [[A, B]]
+        demo = [[A, A]]
+        assert not demo_consistent(tracked, demo)
+
+    def test_column_subset_allowed(self):
+        tracked = [[A, B, C], [B, C, D]]
+        demo = [[C], [D]]
+        assert demo_consistent(tracked, demo)
+
+    def test_column_order_free(self):
+        tracked = [[A, B], [C, D]]
+        demo = [[B, A], [D, C]]
+        assert demo_consistent(tracked, demo)
+
+    def test_inconsistent_cell_rejects(self):
+        tracked = [[A, B], [C, D]]
+        demo = [[A, E5]]
+        assert not demo_consistent(tracked, demo)

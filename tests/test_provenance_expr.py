@@ -1,0 +1,78 @@
+"""Provenance / demonstration expression terms."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.lang import Env
+from repro.provenance import cell, const, func, group, partial_func
+from repro.provenance.expr import CellRef, Const, FuncApp, GroupSet
+from repro.table import Table
+
+
+@pytest.fixture
+def env():
+    t = Table.from_rows("T", ["a", "b"], [[1, 10], [2, 20], [3, 30]])
+    return Env.of(t)
+
+
+class TestConstruction:
+    def test_const_lifting(self):
+        e = func("sum", 1, 2)
+        assert all(isinstance(a, Const) for a in e.args)
+
+    def test_cell_is_zero_based(self):
+        assert cell("T", 0, 1) == CellRef("T", 0, 1)
+
+    def test_repr_is_one_based_like_the_paper(self):
+        assert repr(cell("T", 0, 0)) == "T[1,1]"
+
+    def test_partial_marker_in_repr(self):
+        assert "♦" in repr(partial_func("sum", 1, 2))
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ExpressionError):
+            func("frobnicate", 1)
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ExpressionError):
+            FuncApp("sum", ())
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(ExpressionError):
+            GroupSet(())
+
+
+class TestEvaluation:
+    def test_const(self, env):
+        assert const(7).evaluate(env) == 7
+
+    def test_cell_ref(self, env):
+        assert cell("T", 1, 1).evaluate(env) == 20
+
+    def test_nested_application(self, env):
+        e = func("div", func("sum", cell("T", 0, 1), cell("T", 1, 1)),
+                 const(3))
+        assert e.evaluate(env) == 10
+
+    def test_group_evaluates_first_member(self, env):
+        e = group([cell("T", 0, 0), cell("T", 1, 0)])
+        assert e.evaluate(env) == 1
+
+    def test_partial_cannot_evaluate(self, env):
+        with pytest.raises(ExpressionError):
+            partial_func("sum", cell("T", 0, 0)).evaluate(env)
+
+    def test_unknown_table_raises(self, env):
+        from repro.errors import EvaluationError
+        with pytest.raises(EvaluationError):
+            cell("X", 0, 0).evaluate(env)
+
+
+class TestHashing:
+    def test_structural_equality(self):
+        assert func("sum", 1, 2) == func("sum", 1, 2)
+        assert func("sum", 1, 2) != partial_func("sum", 1, 2)
+
+    def test_usable_in_sets(self):
+        s = {cell("T", 0, 0), cell("T", 0, 0), cell("T", 0, 1)}
+        assert len(s) == 2

@@ -1,0 +1,67 @@
+"""Term simplification: sum/max/min flattening and group flattening (§3.1)."""
+
+from repro.provenance import cell, func, group, partial_func, simplify
+from repro.provenance.expr import FuncApp, GroupSet
+
+A, B, C, D = (cell("T", i, 0) for i in range(4))
+
+
+class TestFlattening:
+    def test_sum_of_sum_flattens(self):
+        e = func("sum", func("sum", A, B), C)
+        assert simplify(e) == func("sum", A, B, C)
+
+    def test_paper_example_f_f_ab_c(self):
+        # f(f(a,b),c) -> f(a,b,c) for f in {sum, max, min}
+        for name in ("sum", "max", "min"):
+            e = func(name, func(name, A, B), C)
+            assert simplify(e) == func(name, A, B, C)
+
+    def test_deep_nesting_flattens_fully(self):
+        e = func("sum", func("sum", func("sum", A, B), C), D)
+        assert simplify(e) == func("sum", A, B, C, D)
+
+    def test_avg_does_not_flatten(self):
+        e = func("avg", func("avg", A, B), C)
+        simplified = simplify(e)
+        assert isinstance(simplified.args[0], FuncApp)
+
+    def test_count_does_not_flatten(self):
+        e = func("count", func("count", A, B), C)
+        assert isinstance(simplify(e).args[0], FuncApp)
+
+    def test_mixed_functions_do_not_flatten(self):
+        e = func("sum", func("max", A, B), C)
+        assert isinstance(simplify(e).args[0], FuncApp)
+
+    def test_partial_flag_propagates_from_inner(self):
+        e = func("sum", partial_func("sum", A, B), C)
+        assert simplify(e).partial
+
+    def test_arguments_simplified_recursively(self):
+        e = func("div", func("sum", func("sum", A, B), C), D)
+        assert simplify(e).args[0] == func("sum", A, B, C)
+
+
+class TestGroupFlattening:
+    def test_nested_groups_flatten(self):
+        e = group([group([A, B]), C])
+        assert simplify(e) == group([A, B, C])
+
+    def test_duplicate_members_dedup(self):
+        e = group([A, A, B])
+        assert simplify(e) == group([A, B])
+
+    def test_group_inside_function_untouched(self):
+        e = func("div", A, group([B, C]))
+        assert simplify(e).args[1] == group([B, C])
+
+
+class TestIdempotence:
+    def test_simplify_twice_is_same(self):
+        e = func("sum", func("sum", A, group([group([B]), C])), D)
+        once = simplify(e)
+        assert simplify(once) == once
+
+    def test_leaves_unchanged(self):
+        assert simplify(A) is A

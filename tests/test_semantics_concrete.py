@@ -1,0 +1,169 @@
+"""Concrete evaluation of every operator."""
+
+import pytest
+
+from repro.errors import HoleError
+from repro.lang import (
+    Arithmetic,
+    Env,
+    Filter,
+    Group,
+    Hole,
+    Join,
+    LeftJoin,
+    Partition,
+    Proj,
+    Sort,
+    TableRef,
+)
+from repro.lang.predicates import ColCmp, ConstCmp
+from repro.semantics import evaluate
+from repro.table import Table
+
+
+@pytest.fixture
+def env(tiny_table):
+    return Env.of(tiny_table)
+
+
+class TestBaseAndRowOps:
+    def test_table_ref(self, env, tiny_table):
+        out = evaluate(TableRef("T"), env)
+        assert out.same_rows(tiny_table)
+
+    def test_filter(self, env):
+        out = evaluate(Filter(TableRef("T"), ConstCmp(2, ">", 15)), env)
+        assert out.n_rows == 2
+
+    def test_filter_col_cmp(self, env):
+        out = evaluate(Filter(TableRef("T"), ColCmp(1, "<", 2)), env)
+        assert all(row[1] < row[2] for row in out.rows)
+
+    def test_proj(self, env):
+        out = evaluate(Proj(TableRef("T"), cols=(2, 0)), env)
+        assert out.columns == ("Sales", "ID")
+
+    def test_sort_ascending(self, env):
+        out = evaluate(Sort(TableRef("T"), cols=(2,), ascending=True), env)
+        values = [row[2] for row in out.rows]
+        assert values == sorted(values)
+
+    def test_sort_descending(self, env):
+        out = evaluate(Sort(TableRef("T"), cols=(2,), ascending=False), env)
+        values = [row[2] for row in out.rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_sort_is_stable(self, env):
+        out = evaluate(Sort(TableRef("T"), cols=(1,), ascending=True), env)
+        q1 = [row[0] for row in out.rows if row[1] == 1]
+        assert q1 == ["A", "B"]  # original relative order preserved
+
+    def test_partial_query_raises(self, env):
+        with pytest.raises(HoleError):
+            evaluate(Filter(TableRef("T"), Hole("pred")), env)
+
+
+class TestJoins:
+    @pytest.fixture
+    def env2(self, tiny_table):
+        names = Table.from_rows("N", ["ID", "Label"],
+                                [["A", "alpha"], ["B", "beta"]])
+        return Env.of(tiny_table, names)
+
+    def test_cross_join(self, env2):
+        out = evaluate(Join(TableRef("T"), TableRef("N")), env2)
+        assert out.n_rows == 10
+        assert out.n_cols == 5
+
+    def test_equi_join(self, env2):
+        out = evaluate(Join(TableRef("T"), TableRef("N"),
+                            pred=ColCmp(0, "==", 3)), env2)
+        assert out.n_rows == 5
+        assert all(row[0] == row[3] for row in out.rows)
+
+    def test_left_join_pads_with_null(self, tiny_table):
+        names = Table.from_rows("N", ["ID", "Label"], [["A", "alpha"]])
+        env = Env.of(tiny_table, names)
+        out = evaluate(LeftJoin(TableRef("T"), TableRef("N"),
+                                pred=ColCmp(0, "==", 3)), env)
+        assert out.n_rows == 5
+        b_rows = [row for row in out.rows if row[0] == "B"]
+        assert all(row[3] is None and row[4] is None for row in b_rows)
+
+
+class TestGroup:
+    def test_intro_example_q1(self, env):
+        # Select ID, Sum(Sales) From T Group By ID  (paper §1)
+        out = evaluate(Group(TableRef("T"), keys=(0,), agg_func="sum",
+                             agg_col=2), env)
+        assert out.same_rows(Table.from_rows("x", ["a", "b"],
+                                             [["A", 45], ["B", 35]]))
+
+    def test_group_by_two_keys(self, env):
+        out = evaluate(Group(TableRef("T"), keys=(0, 1), agg_func="count",
+                             agg_col=2), env)
+        assert out.n_rows == 5
+
+    def test_global_group(self, env):
+        out = evaluate(Group(TableRef("T"), keys=(), agg_func="sum",
+                             agg_col=2), env)
+        assert out.n_rows == 1
+        assert out.cell(0, 0) == 80
+
+    def test_group_column_naming(self, env):
+        out = evaluate(Group(TableRef("T"), keys=(0,), agg_func="sum",
+                             agg_col=2, alias="Total"), env)
+        assert out.columns == ("ID", "Total")
+
+
+class TestPartition:
+    def test_intro_example_q2_cumsum(self, env):
+        # CumSum(Sales) Over (Partition By ID)  (paper §1, table T2)
+        out = evaluate(Partition(TableRef("T"), keys=(0,),
+                                 agg_func="cumsum", agg_col=2), env)
+        assert [row[3] for row in out.rows] == [10, 30, 45, 20, 35]
+
+    def test_partition_sum_sees_group_total(self, env):
+        out = evaluate(Partition(TableRef("T"), keys=(0,), agg_func="sum",
+                                 agg_col=2), env)
+        assert [row[3] for row in out.rows] == [45, 45, 45, 35, 35]
+
+    def test_partition_rank(self, env):
+        out = evaluate(Partition(TableRef("T"), keys=(0,),
+                                 agg_func="rank_desc", agg_col=2), env)
+        # A sales: 10,20,15 -> ranks 3,1,2 ; B: 20,15 -> 1,2
+        assert [row[3] for row in out.rows] == [3, 1, 2, 1, 2]
+
+    def test_empty_keys_whole_table_window(self, env):
+        out = evaluate(Partition(TableRef("T"), keys=(), agg_func="max",
+                                 agg_col=2), env)
+        assert all(row[3] == 20 for row in out.rows)
+
+
+class TestArithmetic:
+    def test_appends_column(self, env):
+        out = evaluate(Arithmetic(TableRef("T"), func="mul", cols=(1, 2)),
+                       env)
+        assert out.n_cols == 4
+        assert out.cell(0, 3) == 10
+
+    def test_division_by_zero_gives_null(self, tiny_table):
+        t = Table.from_rows("Z", ["a", "b"], [[1, 0]])
+        out = evaluate(Arithmetic(TableRef("Z"), func="div", cols=(0, 1)),
+                       Env.of(t))
+        assert out.cell(0, 2) is None
+
+
+class TestPipelines:
+    def test_running_example_full_pipeline(self, health_env, ground_truth):
+        out = evaluate(ground_truth, health_env)
+        assert out.n_cols == 3
+        assert out.n_rows == 8
+        # city A, Q1: (1667+1367)/5668 * 100 = 53.53...
+        assert out.cell(0, 2) == pytest.approx(53.53, abs=0.01)
+        # city A, Q4: 5010/5668 * 100 = 88.39...
+        assert out.cell(3, 2) == pytest.approx(88.39, abs=0.01)
+
+    def test_memoization_returns_consistent_results(self, env):
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        assert evaluate(q, env) is evaluate(q, env)

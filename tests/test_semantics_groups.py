@@ -1,0 +1,47 @@
+"""extractGroups and friends."""
+
+import pytest
+
+from repro.semantics.groups import extract_groups, group_of
+
+
+class TestExtractGroups:
+    def test_first_occurrence_order(self):
+        rows = [["b"], ["a"], ["b"], ["a"]]
+        assert extract_groups(rows) == [[0, 2], [1, 3]]
+
+    def test_multi_column_keys(self):
+        rows = [["a", 1], ["a", 2], ["a", 1]]
+        assert extract_groups(rows) == [[0, 2], [1]]
+
+    def test_empty_keys_single_group(self):
+        rows = [[], [], []]
+        assert extract_groups(rows) == [[0, 1, 2]]
+
+    def test_no_rows(self):
+        assert extract_groups([]) == []
+
+    def test_float_int_equivalence(self):
+        rows = [[1], [1.0], [2]]
+        assert extract_groups(rows) == [[0, 1], [2]]
+
+    def test_null_groups_together(self):
+        rows = [[None], [None], [1]]
+        assert extract_groups(rows) == [[0, 1], [2]]
+
+    def test_partition_is_exact(self):
+        rows = [["x"], ["y"], ["x"], ["z"], ["y"]]
+        groups = extract_groups(rows)
+        flat = sorted(i for g in groups for i in g)
+        assert flat == list(range(5))
+
+
+class TestGroupOf:
+    def test_finds_containing_group(self):
+        groups = [[0, 2], [1]]
+        assert group_of(groups, 2) == [0, 2]
+        assert group_of(groups, 1) == [1]
+
+    def test_missing_row_raises(self):
+        with pytest.raises(ValueError):
+            group_of([[0]], 5)

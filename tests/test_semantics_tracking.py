@@ -1,0 +1,137 @@
+"""Provenance-tracking semantics (Fig. 9): operators as term rewriters."""
+
+import pytest
+
+from repro.lang import (
+    Arithmetic,
+    Env,
+    Filter,
+    Group,
+    Join,
+    LeftJoin,
+    Partition,
+    Proj,
+    Sort,
+    TableRef,
+)
+from repro.lang.predicates import ColCmp, ConstCmp
+from repro.provenance import cell, func, group
+from repro.provenance.expr import CellRef, Const, FuncApp, GroupSet
+from repro.semantics import evaluate, evaluate_tracking
+from repro.table import Table
+
+
+@pytest.fixture
+def env(tiny_table):
+    return Env.of(tiny_table)
+
+
+class TestBaseCase:
+    def test_cells_are_references(self, env):
+        tracked = evaluate_tracking(TableRef("T"), env)
+        assert tracked.exprs[0][0] == CellRef("T", 0, 0)
+        assert tracked.exprs[4][2] == CellRef("T", 4, 2)
+
+    def test_values_shadow_concrete(self, env, tiny_table):
+        tracked = evaluate_tracking(TableRef("T"), env)
+        assert tracked.values == tiny_table.rows
+
+
+class TestOperatorsRewriteTerms:
+    def test_group_key_becomes_group_set(self, env):
+        tracked = evaluate_tracking(
+            Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2), env)
+        assert tracked.exprs[0][0] == group(
+            [cell("T", 0, 0), cell("T", 1, 0), cell("T", 2, 0)])
+
+    def test_group_aggregate_collects_members(self, env):
+        tracked = evaluate_tracking(
+            Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2), env)
+        assert tracked.exprs[0][1] == func(
+            "sum", cell("T", 0, 2), cell("T", 1, 2), cell("T", 2, 2))
+
+    def test_cumsum_is_prefix_sum(self, env):
+        tracked = evaluate_tracking(
+            Partition(TableRef("T"), keys=(0,), agg_func="cumsum", agg_col=2),
+            env)
+        assert tracked.exprs[0][3] == func("sum", cell("T", 0, 2))
+        assert tracked.exprs[1][3] == func("sum", cell("T", 0, 2),
+                                           cell("T", 1, 2))
+
+    def test_rank_term_puts_own_cell_first(self, env):
+        tracked = evaluate_tracking(
+            Partition(TableRef("T"), keys=(0,), agg_func="rank", agg_col=2),
+            env)
+        expr = tracked.exprs[1][3]
+        assert isinstance(expr, FuncApp) and expr.func == "rank"
+        assert expr.args[0] == cell("T", 1, 2)
+        assert len(expr.args) == 4  # own + 3-member pool
+
+    def test_arithmetic_wraps_cells(self, env):
+        tracked = evaluate_tracking(
+            Arithmetic(TableRef("T"), func="mul", cols=(1, 2)), env)
+        assert tracked.exprs[0][3] == func("mul", cell("T", 0, 1),
+                                           cell("T", 0, 2))
+
+    def test_filter_keeps_matching_rows_refs(self, env):
+        tracked = evaluate_tracking(
+            Filter(TableRef("T"), ConstCmp(2, ">", 15)), env)
+        assert tracked.n_rows == 2
+        assert tracked.exprs[0][0] == cell("T", 1, 0)
+
+    def test_left_join_pads_with_null_consts(self, tiny_table):
+        names = Table.from_rows("N", ["ID", "Label"], [["A", "alpha"]])
+        env = Env.of(tiny_table, names)
+        tracked = evaluate_tracking(
+            LeftJoin(TableRef("T"), TableRef("N"), pred=ColCmp(0, "==", 3)),
+            env)
+        padded = [r for r in tracked.exprs if r[3] == Const(None)]
+        assert len(padded) == 2
+
+    def test_sort_permutes_rows(self, env):
+        tracked = evaluate_tracking(
+            Sort(TableRef("T"), cols=(2,), ascending=True), env)
+        assert tracked.exprs[0][2] == cell("T", 0, 2)  # sales=10 first
+
+    def test_proj_selects_expr_columns(self, env):
+        tracked = evaluate_tracking(Proj(TableRef("T"), cols=(2,)), env)
+        assert tracked.exprs[0] == (cell("T", 0, 2),)
+
+
+class TestFlatteningAcrossOperators:
+    def test_cumsum_over_group_sums_flattens(self, health_env, ground_truth):
+        """Fig. 4: the quarter-4 percentage uses one flat 8-argument sum."""
+        tracked = evaluate_tracking(ground_truth, health_env)
+        q4 = tracked.exprs[3][2]
+        assert isinstance(q4, FuncApp) and q4.func == "percent"
+        inner = q4.args[0]
+        assert isinstance(inner, FuncApp) and inner.func == "sum"
+        assert inner.args == tuple(cell("T", i, 3) for i in range(8))
+        assert isinstance(q4.args[1], GroupSet)
+
+
+class TestShadowAgreement:
+    """[[ [[q]]★ ]] == [[q]] — the tracked table evaluates to the concrete
+    output, cell by cell (§3.1)."""
+
+    @pytest.mark.parametrize("build", [
+        lambda: Group(TableRef("T"), keys=(0,), agg_func="avg", agg_col=2),
+        lambda: Partition(TableRef("T"), keys=(0,), agg_func="cumsum",
+                          agg_col=2),
+        lambda: Partition(TableRef("T"), keys=(1,), agg_func="dense_rank",
+                          agg_col=2),
+        lambda: Arithmetic(TableRef("T"), func="percent", cols=(1, 2)),
+        lambda: Sort(Filter(TableRef("T"), ConstCmp(2, ">=", 15)),
+                     cols=(2,), ascending=False),
+    ])
+    def test_expr_evaluation_matches_values(self, env, build):
+        tracked = evaluate_tracking(build(), env)
+        for expr_row, value_row in zip(tracked.exprs, tracked.values):
+            for expr, value in zip(expr_row, value_row):
+                from repro.table.values import value_eq
+                assert value_eq(expr.evaluate(env), value)
+
+    def test_to_table_matches_concrete_eval(self, health_env, ground_truth):
+        tracked = evaluate_tracking(ground_truth, health_env)
+        concrete = evaluate(ground_truth, health_env)
+        assert tracked.to_table().same_rows(concrete)

@@ -1,0 +1,98 @@
+"""The §5.1 demonstration-generation procedure."""
+
+import pytest
+
+from repro.lang import Env, Group, Partition, TableRef
+from repro.provenance import demo_consistent
+from repro.provenance.expr import FuncApp, GroupSet
+from repro.semantics import evaluate_tracking
+from repro.spec import DemoGenConfig, generate_demonstration, sample_table
+from repro.table import Table
+
+
+@pytest.fixture
+def env(tiny_table):
+    return Env.of(tiny_table)
+
+
+@pytest.fixture
+def group_query():
+    return Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+
+
+class TestGeneration:
+    def test_demo_has_two_rows(self, group_query, env):
+        demo = generate_demonstration(group_query, env, label="t")
+        assert demo.n_rows == 2
+        assert demo.n_cols == 2
+
+    def test_demo_is_consistent_with_ground_truth(self, group_query, env):
+        demo = generate_demonstration(group_query, env, label="t")
+        tracked = evaluate_tracking(group_query, env)
+        assert demo_consistent(tracked.exprs, demo.cells)
+
+    def test_deterministic_per_label_and_seed(self, group_query, env):
+        a = generate_demonstration(group_query, env, label="x")
+        b = generate_demonstration(group_query, env, label="x")
+        c = generate_demonstration(group_query, env, label="y")
+        assert a.cells == b.cells
+        assert a.cells != c.cells or True  # different labels may coincide
+
+    def test_no_group_terms_in_demo(self, group_query, env):
+        demo = generate_demonstration(group_query, env, label="t")
+
+        def no_groups(e):
+            assert not isinstance(e, GroupSet)
+            for child in e.children():
+                no_groups(child)
+
+        for row in demo.cells:
+            for expr in row:
+                no_groups(expr)
+
+    def test_long_expressions_truncated_with_omission(self):
+        # 8 rows in one group -> the sum has 8 args -> truncated to 4 + ♦
+        t = Table.from_rows("T", ["k", "v"],
+                            [["a", i] for i in range(8)] + [["b", 99]])
+        env = Env.of(t)
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=1)
+        demo = generate_demonstration(
+            q, env, DemoGenConfig(max_expr_values=4), label="t")
+        sums = [e for row in demo.cells for e in row
+                if isinstance(e, FuncApp)]
+        big = [e for e in sums if e.partial]
+        assert big and all(len(e.args) <= 4 for e in big)
+
+    def test_column_restriction(self, group_query, env):
+        demo = generate_demonstration(
+            group_query, env, DemoGenConfig(columns=(1,)), label="t")
+        assert demo.n_cols == 1
+
+    def test_row_count_capped_by_output(self, env):
+        q = Group(TableRef("T"), keys=(), agg_func="sum", agg_col=2)
+        demo = generate_demonstration(q, env, label="t")
+        assert demo.n_rows == 1
+
+    def test_rank_demo_consistent(self, env):
+        q = Partition(TableRef("T"), keys=(0,), agg_func="rank_desc",
+                      agg_col=2)
+        demo = generate_demonstration(q, env, label="t")
+        tracked = evaluate_tracking(q, env)
+        assert demo_consistent(tracked.exprs, demo.cells)
+
+
+class TestSampling:
+    def test_small_table_unchanged(self, tiny_table):
+        assert sample_table(tiny_table, max_rows=20) is tiny_table
+
+    def test_large_table_sampled_in_order(self):
+        t = Table.from_rows("T", ["i"], [[i] for i in range(50)])
+        s = sample_table(t, max_rows=20)
+        values = [row[0] for row in s.rows]
+        assert len(values) == 20
+        assert values == sorted(values)  # original order preserved
+
+    def test_sampling_deterministic(self):
+        t = Table.from_rows("T", ["i"], [[i] for i in range(50)])
+        assert sample_table(t, seed=1).rows == sample_table(t, seed=1).rows
+        assert sample_table(t, seed=1).rows != sample_table(t, seed=2).rows

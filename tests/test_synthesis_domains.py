@@ -1,0 +1,157 @@
+"""Hole-domain inference."""
+
+import pytest
+
+from repro.lang import (
+    Arithmetic,
+    Env,
+    Filter,
+    Group,
+    Hole,
+    Join,
+    Partition,
+    Proj,
+    Sort,
+    TableRef,
+)
+from repro.lang.predicates import ColCmp, ConstCmp
+from repro.synthesis import SynthesisConfig
+from repro.synthesis.domains import hole_domain
+from repro.table import Table
+from repro.table.schema import ForeignKey
+
+H = Hole
+CFG = SynthesisConfig()
+
+
+@pytest.fixture
+def env(tiny_table):
+    return Env.of(tiny_table)
+
+
+class TestGroupDomains:
+    def test_keys_are_subsets(self, env):
+        q = Group(TableRef("T"), keys=H("keys"), agg_func=H("agg_func"),
+                  agg_col=H("agg_col"))
+        domain = hole_domain(q, ((), "keys"), env, CFG)
+        assert () in domain          # global aggregation allowed
+        assert (0, 1) in domain
+        assert (0, 1, 2) not in domain  # must leave an aggregation target
+
+    def test_keys_capped_by_config(self, env):
+        q = Group(TableRef("T"), keys=H("keys"), agg_func=H("agg_func"),
+                  agg_col=H("agg_col"))
+        config = SynthesisConfig(max_key_cols=1)
+        domain = hole_domain(q, ((), "keys"), env, config)
+        assert all(len(k) <= 1 for k in domain)
+
+    def test_agg_col_excludes_keys(self, env):
+        q = Group(TableRef("T"), keys=(0, 1), agg_func=H("agg_func"),
+                  agg_col=H("agg_col"))
+        assert hole_domain(q, ((), "agg_col"), env, CFG) == [2]
+
+    def test_agg_func_numeric_column(self, env):
+        q = Group(TableRef("T"), keys=(0,), agg_func=H("agg_func"), agg_col=2)
+        domain = hole_domain(q, ((), "agg_func"), env, CFG)
+        assert set(domain) == {"sum", "avg", "max", "min", "count"}
+
+    def test_agg_func_string_column_only_count(self, env):
+        q = Group(TableRef("T"), keys=(1,), agg_func=H("agg_func"), agg_col=0)
+        assert hole_domain(q, ((), "agg_func"), env, CFG) == ["count"]
+
+
+class TestPartitionDomains:
+    def test_analytic_functions_offered(self, env):
+        q = Partition(TableRef("T"), keys=(0,), agg_func=H("agg_func"),
+                      agg_col=2)
+        domain = hole_domain(q, ((), "agg_func"), env, CFG)
+        for name in ("cumsum", "rank", "dense_rank", "sum"):
+            assert name in domain
+
+
+class TestArithmeticDomains:
+    def test_cols_numeric_ordered_pairs(self, env):
+        q = Arithmetic(TableRef("T"), func=H("func"), cols=H("cols"))
+        domain = hole_domain(q, ((), "cols"), env, CFG)
+        assert (1, 2) in domain and (2, 1) in domain
+        assert all(0 not in pair for pair in domain)  # ID is a string col
+
+    def test_swapped_pair_skips_commutative_funcs(self, env):
+        q = Arithmetic(TableRef("T"), func=H("func"), cols=(2, 1))
+        domain = hole_domain(q, ((), "func"), env, CFG)
+        assert "add" not in domain and "mul" not in domain
+        assert "sub" in domain and "div" in domain
+
+    def test_ordered_pair_gets_all_funcs(self, env):
+        q = Arithmetic(TableRef("T"), func=H("func"), cols=(1, 2))
+        domain = hole_domain(q, ((), "func"), env, CFG)
+        assert "add" in domain and "div" in domain
+
+
+class TestFilterDomains:
+    def test_includes_const_predicates(self, env):
+        config = SynthesisConfig(constants=(15, "A"))
+        q = Filter(TableRef("T"), pred=H("pred"))
+        domain = hole_domain(q, ((), "pred"), env, config)
+        assert ConstCmp(2, ">", 15) in domain
+        assert ConstCmp(0, "==", "A") in domain
+
+    def test_col_pairs_are_opt_in(self, env):
+        config = SynthesisConfig(constants=(15,), filter_col_pairs=True)
+        q = Filter(TableRef("T"), pred=H("pred"))
+        assert ColCmp(1, "<", 2) in hole_domain(q, ((), "pred"), env, config)
+        assert ColCmp(1, "<", 2) not in hole_domain(q, ((), "pred"), env, CFG)
+
+    def test_no_constants_empty_default_domain(self, env):
+        q = Filter(TableRef("T"), pred=H("pred"))
+        assert hole_domain(q, ((), "pred"), env, CFG) == []
+
+    def test_string_columns_only_equality(self, env):
+        config = SynthesisConfig(constants=("A",))
+        q = Filter(TableRef("T"), pred=H("pred"))
+        domain = hole_domain(q, ((), "pred"), env, config)
+        string_preds = [p for p in domain
+                        if isinstance(p, ConstCmp) and p.const == "A"]
+        assert {p.op for p in string_preds} == {"=="}
+
+
+class TestJoinDomains:
+    def test_fk_based_predicates(self):
+        customers = Table.from_rows("customers", ["id", "name"],
+                                    [[1, "x"]], primary_key=["id"])
+        orders = Table.from_rows(
+            "orders", ["oid", "cid"], [[1, 1]],
+            foreign_keys=[ForeignKey("cid", "customers", "id")])
+        env = Env.of(orders, customers)
+        q = Join(TableRef("orders"), TableRef("customers"), pred=H("pred"))
+        domain = hole_domain(q, ((), "pred"), env, CFG)
+        assert domain == [ColCmp(1, "==", 2)]
+
+    def test_same_name_fallback(self, tiny_table):
+        other = Table.from_rows("N", ["ID", "Extra"], [["A", 1]])
+        env = Env.of(tiny_table, other)
+        q = Join(TableRef("T"), TableRef("N"), pred=H("pred"))
+        domain = hole_domain(q, ((), "pred"), env, CFG)
+        assert ColCmp(0, "==", 3) in domain
+
+
+class TestSortProjDomains:
+    def test_sort_single_columns(self, env):
+        q = Sort(TableRef("T"), cols=H("cols"), ascending=H("ascending"))
+        domain = hole_domain(q, ((), "cols"), env, CFG)
+        assert all(len(c) == 1 for c in domain)
+        assert hole_domain(q, ((), "ascending"), env, CFG) == [True, False]
+
+    def test_proj_all_subsets(self, env):
+        q = Proj(TableRef("T"), cols=H("cols"))
+        domain = hole_domain(q, ((), "cols"), env, CFG)
+        assert (0,) in domain and (0, 1, 2) in domain
+
+
+class TestNestedPaths:
+    def test_domain_for_inner_node(self, env):
+        inner = Group(TableRef("T"), keys=H("keys"), agg_func=H("agg_func"),
+                      agg_col=H("agg_col"))
+        outer = Arithmetic(inner, func=H("func"), cols=H("cols"))
+        domain = hole_domain(outer, ((0,), "keys"), env, CFG)
+        assert (0,) in domain

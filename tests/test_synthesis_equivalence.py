@@ -1,0 +1,90 @@
+"""Ground-truth equivalence checking and ranking."""
+
+import pytest
+
+from repro.lang import Arithmetic, Env, Group, Partition, Proj, TableRef
+from repro.synthesis import rank_queries, same_output
+from repro.synthesis.equivalence import tables_equivalent
+from repro.synthesis.ranking import rank_of
+from repro.table import Table
+
+
+@pytest.fixture
+def env(tiny_table):
+    return Env.of(tiny_table)
+
+
+class TestTablesEquivalent:
+    def test_identical(self):
+        a = Table.from_rows("a", ["x", "y"], [[1, 2], [3, 4]])
+        assert tables_equivalent(a, a)
+
+    def test_column_order_free(self):
+        a = Table.from_rows("a", ["x", "y"], [[1, 2], [3, 4]])
+        b = Table.from_rows("b", ["y", "x"], [[2, 1], [4, 3]])
+        assert tables_equivalent(a, b)
+
+    def test_row_order_free(self):
+        a = Table.from_rows("a", ["x"], [[1], [2]])
+        b = Table.from_rows("b", ["x"], [[2], [1]])
+        assert tables_equivalent(a, b)
+
+    def test_candidate_may_have_extra_columns(self):
+        ref = Table.from_rows("a", ["x"], [[1], [2]])
+        cand = Table.from_rows("b", ["k", "x"], [["p", 1], ["q", 2]])
+        assert tables_equivalent(ref, cand)
+
+    def test_extra_rows_reject(self):
+        ref = Table.from_rows("a", ["x"], [[1]])
+        cand = Table.from_rows("b", ["x"], [[1], [1]])
+        assert not tables_equivalent(ref, cand)
+
+    def test_row_association_must_hold(self):
+        # same column multisets but rows pair differently
+        ref = Table.from_rows("a", ["x", "y"], [[1, 4], [2, 3]])
+        cand = Table.from_rows("b", ["x", "y"], [[1, 3], [2, 4]])
+        assert not tables_equivalent(ref, cand)
+
+    def test_duplicate_column_content(self):
+        ref = Table.from_rows("a", ["x", "y"], [[1, 1], [2, 2]])
+        cand = Table.from_rows("b", ["p", "q"], [[1, 1], [2, 2]])
+        assert tables_equivalent(ref, cand)
+
+
+class TestSameOutput:
+    def test_group_key_order_immaterial(self, env):
+        a = Group(TableRef("T"), keys=(0, 1), agg_func="sum", agg_col=2)
+        b = Group(TableRef("T"), keys=(1, 0), agg_func="sum", agg_col=2)
+        assert same_output(a, b, env)
+
+    def test_projection_of_candidate_ok(self, env):
+        gt = Proj(Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2),
+                  cols=(1,))
+        candidate = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        assert same_output(candidate, gt, env)
+
+    def test_different_aggregates_differ(self, env):
+        a = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        b = Group(TableRef("T"), keys=(0,), agg_func="avg", agg_col=2)
+        assert not same_output(a, b, env)
+
+    def test_partition_vs_group_differ(self, env):
+        a = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        b = Partition(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        assert not same_output(a, b, env)
+
+
+class TestRanking:
+    def test_rank_by_size_stable(self, env):
+        small = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        big = Arithmetic(small, func="mul", cols=(1, 1))
+        ranked = rank_queries([big, small])
+        assert ranked == [small, big]
+
+    def test_rank_of(self):
+        a = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        b = Group(TableRef("T"), keys=(1,), agg_func="sum", agg_col=2)
+        assert rank_of([a, b], b) == 2
+        assert rank_of([a, b], a) == 1
+        other = Group(TableRef("T"), keys=(0, 1), agg_func="avg", agg_col=2)
+        assert rank_of([a, b], other) is None

@@ -1,0 +1,81 @@
+"""The worklist strategies: fairness, ordering, exhaustion."""
+
+import pytest
+
+from repro.lang import TableRef
+from repro.synthesis.enumerator import _Worklist
+
+
+def _q(name):
+    return TableRef(name)
+
+
+class TestSizedDfs:
+    def test_single_lane_is_lifo(self):
+        wl = _Worklist("sized_dfs")
+        lane = wl.add_lane(_q("root"), 1)
+        _, lid, root = wl.pop()
+        wl.push(_q("a"), 1, lid)
+        wl.push(_q("b"), 1, lid)
+        assert wl.pop()[2].name == "b"
+        assert wl.pop()[2].name == "a"
+        assert not wl
+
+    def test_round_robin_across_lanes(self):
+        wl = _Worklist("sized_dfs")
+        l1 = wl.add_lane(_q("x1"), 1)
+        l2 = wl.add_lane(_q("y1"), 1)
+        # pop alternates lanes
+        first = wl.pop()
+        second = wl.pop()
+        assert {first[2].name, second[2].name} == {"x1", "y1"}
+        assert first[1] != second[1]
+
+    def test_no_lane_starvation(self):
+        wl = _Worklist("sized_dfs")
+        big = wl.add_lane(_q("big0"), 1)
+        small = wl.add_lane(_q("small0"), 2)
+        popped = []
+        for step in range(10):
+            _, lid, q = wl.pop()
+            popped.append(q.name)
+            if lid == big:  # the big lane keeps regenerating work
+                wl.push(_q(f"big{step + 1}"), 1, big)
+        # the small (later, larger-size) lane still got served
+        assert "small0" in popped
+
+    def test_exhausted_lanes_dropped(self):
+        wl = _Worklist("sized_dfs")
+        wl.add_lane(_q("a"), 1)
+        wl.add_lane(_q("b"), 1)
+        assert wl.pop()[2] is not None
+        assert wl.pop()[2] is not None
+        assert not wl
+
+    def test_bool_reflects_content(self):
+        wl = _Worklist("sized_dfs")
+        assert not wl
+        lid = wl.add_lane(_q("a"), 1)
+        assert wl
+        wl.pop()
+        assert not wl
+        wl.push(_q("b"), 1, lid)
+        assert wl
+
+
+class TestFifoStrategies:
+    def test_bfs_order(self):
+        wl = _Worklist("bfs")
+        lid = wl.add_lane(_q("s1"), 1)
+        wl.add_lane(_q("s2"), 1)
+        wl.push(_q("c1"), 1, lid)
+        names = [wl.pop()[2].name for _ in range(3)]
+        assert names == ["s1", "s2", "c1"]
+
+    def test_dfs_order(self):
+        wl = _Worklist("dfs")
+        lid = wl.add_lane(_q("s1"), 1)
+        wl.add_lane(_q("s2"), 1)
+        wl.push(_q("c1"), 1, lid)
+        names = [wl.pop()[2].name for _ in range(3)]
+        assert names == ["c1", "s1", "s2"]

@@ -1,0 +1,45 @@
+"""CSV round-tripping and pretty printing."""
+
+from repro.table import Table
+from repro.table.io import dump_csv, format_table, load_csv
+
+
+class TestCsv:
+    def test_round_trip(self, tiny_table):
+        text = dump_csv(tiny_table)
+        back = load_csv("T", text)
+        assert back.same_rows(tiny_table)
+        assert back.columns == tiny_table.columns
+
+    def test_parse_types(self):
+        t = load_csv("t", "a,b,c,d\n1,2.5,x,true\n,3,y,false\n")
+        assert t.cell(0, 0) == 1
+        assert t.cell(0, 1) == 2.5
+        assert t.cell(0, 2) == "x"
+        assert t.cell(0, 3) is True
+        assert t.cell(1, 0) is None
+
+    def test_null_round_trip(self):
+        t = Table.from_rows("t", ["a", "b"], [[None, 1]])
+        back = load_csv("t", dump_csv(t))
+        assert back.cell(0, 0) is None
+
+    def test_load_with_keys(self):
+        t = load_csv("t", "id,x\n1,2\n", primary_key=["id"])
+        assert t.schema.primary_key == ("id",)
+
+
+class TestFormat:
+    def test_contains_header_and_values(self, tiny_table):
+        text = format_table(tiny_table)
+        assert "ID" in text and "Sales" in text
+        assert "20" in text
+
+    def test_truncates_long_tables(self):
+        t = Table.from_rows("t", ["x"], [[i] for i in range(100)])
+        text = format_table(t, max_rows=5)
+        assert "more rows" in text
+
+    def test_null_rendering(self):
+        t = Table.from_rows("t", ["x"], [[None]])
+        assert "NULL" in format_table(t)

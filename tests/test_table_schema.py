@@ -1,0 +1,69 @@
+"""Schemas, type inference and key metadata."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.table.schema import ForeignKey, Schema, infer_type
+
+
+class TestInferType:
+    def test_uniform_numbers(self):
+        assert infer_type([1, 2.5, 3]) == "number"
+
+    def test_strings(self):
+        assert infer_type(["a", "b"]) == "string"
+
+    def test_nulls_ignored(self):
+        assert infer_type([None, 4, None]) == "number"
+
+    def test_all_null(self):
+        assert infer_type([None, None]) == "null"
+
+    def test_mixed(self):
+        assert infer_type([1, "a"]) == "mixed"
+
+    def test_bool(self):
+        assert infer_type([True, False]) == "bool"
+
+
+class TestSchema:
+    def test_index_of(self):
+        s = Schema(("a", "b"), ("number", "string"))
+        assert s.index_of("b") == 1
+
+    def test_index_of_missing(self):
+        s = Schema(("a",), ("number",))
+        with pytest.raises(SchemaError):
+            s.index_of("z")
+
+    def test_type_of_by_name_and_index(self):
+        s = Schema(("a", "b"), ("number", "string"))
+        assert s.type_of("b") == "string"
+        assert s.type_of(0) == "number"
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "a"), ("number", "number"))
+
+    def test_types_must_be_parallel(self):
+        with pytest.raises(SchemaError):
+            Schema(("a", "b"), ("number",))
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema(("a",), ("number",), primary_key=("z",))
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema(("a",), ("number",),
+                   foreign_keys=(ForeignKey("z", "other", "id"),))
+
+    def test_valid_keys(self):
+        s = Schema(("id", "ref"), ("number", "number"),
+                   primary_key=("id",),
+                   foreign_keys=(ForeignKey("ref", "other", "id"),))
+        assert s.primary_key == ("id",)
+        assert s.foreign_keys[0].ref_table == "other"
+
+    def test_arity(self):
+        assert Schema(("a", "b", "c"), ("null",) * 3).arity == 3

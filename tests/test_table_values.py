@@ -1,0 +1,123 @@
+"""Unit tests for cell value comparison semantics."""
+
+import math
+
+from repro.table.values import (
+    canonical,
+    is_numeric,
+    row_eq,
+    value_eq,
+    value_lt,
+    value_sort_key,
+    value_type,
+)
+
+
+class TestIsNumeric:
+    def test_int(self):
+        assert is_numeric(3)
+
+    def test_float(self):
+        assert is_numeric(3.5)
+
+    def test_bool_is_not_numeric(self):
+        assert not is_numeric(True)
+
+    def test_none(self):
+        assert not is_numeric(None)
+
+    def test_string(self):
+        assert not is_numeric("3")
+
+
+class TestValueType:
+    def test_null(self):
+        assert value_type(None) == "null"
+
+    def test_bool(self):
+        assert value_type(False) == "bool"
+
+    def test_number(self):
+        assert value_type(7) == "number"
+        assert value_type(7.5) == "number"
+
+    def test_string(self):
+        assert value_type("x") == "string"
+
+
+class TestValueEq:
+    def test_ints(self):
+        assert value_eq(3, 3)
+        assert not value_eq(3, 4)
+
+    def test_int_float_cross(self):
+        assert value_eq(2, 2.0)
+
+    def test_float_tolerance(self):
+        assert value_eq(0.1 + 0.2, 0.3)
+
+    def test_null_only_equals_null(self):
+        assert value_eq(None, None)
+        assert not value_eq(None, 0)
+        assert not value_eq("", None)
+
+    def test_strings(self):
+        assert value_eq("a", "a")
+        assert not value_eq("a", "b")
+
+    def test_string_vs_number(self):
+        assert not value_eq("3", 3)
+
+    def test_bool_vs_int(self):
+        # bools are a distinct type class in our value model
+        assert not value_eq(True, 1)
+
+
+class TestOrdering:
+    def test_numbers(self):
+        assert value_lt(1, 2)
+        assert not value_lt(2, 1)
+
+    def test_numbers_before_strings(self):
+        assert value_lt(10**9, "a")
+
+    def test_null_sorts_last(self):
+        assert value_lt("zzz", None)
+        assert not value_lt(None, 0)
+
+    def test_sort_key_total_order(self):
+        values = [None, "b", 3, 1.5, "a", True]
+        ordered = sorted(values, key=value_sort_key)
+        assert ordered == [1.5, 3, "a", "b", True, None]
+
+
+class TestRowEq:
+    def test_equal(self):
+        assert row_eq([1, "a", None], [1.0, "a", None])
+
+    def test_length_mismatch(self):
+        assert not row_eq([1], [1, 2])
+
+    def test_value_mismatch(self):
+        assert not row_eq([1, 2], [1, 3])
+
+
+class TestCanonical:
+    def test_integral_float_collapses(self):
+        assert canonical(2.0) == 2
+        assert isinstance(canonical(2.0), int)
+
+    def test_non_integral_float_rounds(self):
+        assert canonical(1.23456789012345) == round(1.23456789012345, 9)
+
+    def test_bool_passthrough(self):
+        assert canonical(True) is True
+
+    def test_string_passthrough(self):
+        assert canonical("s") == "s"
+
+    def test_canonical_consistent_with_eq(self):
+        assert canonical(2) == canonical(2.0)
+
+    def test_inf_passthrough(self):
+        assert canonical(math.inf) == math.inf

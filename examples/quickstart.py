@@ -45,7 +45,11 @@ def main() -> None:
         print("  ", [repr(e) for e in row])
 
     # --- 3. synthesize -------------------------------------------------------
-    config = SynthesisConfig(max_operators=1, timeout_s=10)
+    # ``backend`` picks the evaluation engine: "columnar" (default) caches
+    # evaluated subtrees by structural key and runs vectorized kernels;
+    # "row" is the reference interpreter.  Results are identical either way.
+    config = SynthesisConfig(max_operators=1, timeout_s=10,
+                             backend="columnar")
     result = synthesize([table], demo, abstraction="provenance",
                         config=config)
 

@@ -49,6 +49,7 @@ from repro.provenance import (
     group,
     partial_func,
 )
+from repro.engine import ColumnarEngine, EvalEngine, RowEngine, make_engine
 from repro.semantics import evaluate, evaluate_tracking
 from repro.spec import DemoGenConfig, generate_demonstration
 from repro.synthesis import SynthesisConfig, Synthesizer, synthesize
@@ -63,8 +64,9 @@ __all__ = [
     "Query", "TableRef", "Filter", "Join", "LeftJoin", "Proj", "Sort",
     "Group", "Partition", "Arithmetic", "Hole", "to_sql", "to_instructions",
     "parse_instructions",
-    # semantics
+    # semantics / engines
     "evaluate", "evaluate_tracking",
+    "EvalEngine", "RowEngine", "ColumnarEngine", "make_engine",
     # demonstrations
     "Demonstration", "cell", "const", "func", "partial_func", "group",
     "generalizes", "demo_consistent",

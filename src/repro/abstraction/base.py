@@ -14,15 +14,37 @@ from repro.provenance.demo import Demonstration
 
 
 class Abstraction:
-    """Base class: subclasses override :meth:`feasible`."""
+    """Base class: subclasses override :meth:`feasible`.
+
+    Abstractions evaluate concrete subqueries through an
+    :class:`~repro.engine.base.EvalEngine`; the synthesizer binds its engine
+    via :meth:`bind_engine` so the whole session shares one set of caches.
+    Unbound abstractions (direct API use, tests) lazily create a private
+    engine — still instance-owned, never module-global.
+    """
 
     name = "abstract"
+
+    #: The bound evaluation engine (None until :meth:`bind_engine`).
+    engine = None
+
+    def bind_engine(self, engine) -> None:
+        """Evaluate through ``engine`` from now on (drops private caches)."""
+        self.engine = engine
+
+    def _engine(self):
+        if self.engine is None:
+            from repro.engine.row import RowEngine
+            self.engine = RowEngine()
+        return self.engine
 
     def feasible(self, query: Query, env: Env, demo: Demonstration) -> bool:
         raise NotImplementedError
 
     def reset(self) -> None:
         """Drop any per-run caches (called between benchmark tasks)."""
+        if self.engine is not None:
+            self.engine.reset()
 
 
 class NoAbstraction(Abstraction):

@@ -1,6 +1,6 @@
 """Abstract data provenance — the paper's core abstraction (Fig. 11).
 
-Given a partial query ``q`` and inputs ``T̄``, ``abstract_eval`` returns an
+Given a partial query ``q`` and inputs ``T̄``, the analyzer returns an
 abstract table ``T◦ = [[q(T̄)]]◦`` whose every cell over-approximates the set
 of input cells that can flow into that position under *any* instantiation of
 ``q`` (Property 1).  Precision climbs a ladder as parameters are filled:
@@ -24,11 +24,13 @@ Two sound refinements beyond the figure (both toggleable for ablation):
 Concrete subqueries are evaluated under the tracking semantics and lifted,
 exactly as §4 prescribes ("the analyzer will evaluate q using
 provenance-tracking semantics ... to achieve stronger analysis").
+
+All memoization lives in :class:`ProvenanceAnalyzer` *instances* (bounded
+caches) — there is no module-global evaluation state, so independent
+synthesis sessions never share or clobber each other's results.
 """
 
 from __future__ import annotations
-
-from functools import lru_cache
 
 from repro.abstraction.base import Abstraction
 from repro.abstraction.cells import (
@@ -41,15 +43,18 @@ from repro.abstraction.cells import (
     AbstractTable,
 )
 from repro.abstraction.consistency import abstract_consistent
+from repro.engine.cache import BoundedCache
 from repro.errors import EvaluationError
 from repro.lang import ast
 from repro.lang.functions import analytic_spec, apply_function, function_spec
 from repro.lang.holes import Hole, is_concrete
 from repro.provenance.demo import Demonstration
-from repro.provenance.expr import CellRef, Const, FuncApp, GroupSet
+from repro.provenance.expr import FuncApp, GroupSet
 from repro.provenance.refs import refs_of
 from repro.semantics.groups import extract_groups
-from repro.semantics.tracking import evaluate_tracking
+
+DEFAULT_EVAL_CACHE = 100_000
+DEFAULT_HELPER_CACHE = 50_000
 
 
 def _expr_head(expr) -> str:
@@ -69,87 +74,6 @@ def _analytic_head(func_name: str | None) -> str:
     return function_spec(analytic_spec(func_name).term_name).kind
 
 
-def abstract_eval(query: ast.Query, env: ast.Env,
-                  target_refinement: bool = True) -> AbstractTable:
-    """``[[q(T̄)]]◦`` for a (possibly partial) query."""
-    return _abstract_eval_cached(query, env, target_refinement)
-
-
-@lru_cache(maxsize=100_000)
-def _abstract_eval_cached(query: ast.Query, env: ast.Env,
-                          refine: bool) -> AbstractTable:
-    if is_concrete(query):
-        return _lift_tracked(query, env)
-
-    if isinstance(query, ast.Filter):
-        child = _abstract_eval_cached(query.child, env, refine)
-        # An unknown predicate keeps at most these rows: same cells, row set
-        # no longer exact.
-        return AbstractTable(child.rows, rows_exact=False)
-
-    if isinstance(query, ast.Join):
-        return _abstract_join(query, env, refine, outer=False)
-
-    if isinstance(query, ast.LeftJoin):
-        return _abstract_join(query, env, refine, outer=True)
-
-    if isinstance(query, ast.Proj):
-        child = _abstract_eval_cached(query.child, env, refine)
-        if isinstance(query.cols, Hole):
-            return child
-        rows = tuple(tuple(row[c] for c in query.cols) for row in child.rows)
-        return AbstractTable(rows, rows_exact=child.rows_exact)
-
-    if isinstance(query, ast.Sort):
-        # Sorting permutes rows; the abstraction is order-insensitive, so the
-        # child's abstract table is already sound.
-        return _abstract_eval_cached(query.child, env, refine)
-
-    if isinstance(query, ast.Group):
-        return _abstract_group(query, env, refine)
-
-    if isinstance(query, ast.Partition):
-        return _abstract_partition(query, env, refine)
-
-    if isinstance(query, ast.Arithmetic):
-        return _abstract_arithmetic(query, env, refine)
-
-    raise EvaluationError(f"no abstract rule for {type(query).__name__}")
-
-
-def _lift_tracked(query: ast.Query, env: ast.Env) -> AbstractTable:
-    tracked = evaluate_tracking(query, env)
-    rows = tuple(
-        tuple(AbstractCell(refs_of(expr), value, True, _expr_head(expr))
-              for expr, value in zip(expr_row, value_row))
-        for expr_row, value_row in zip(tracked.exprs, tracked.values))
-    return AbstractTable(rows, rows_exact=True)
-
-
-def _abstract_join(query, env: ast.Env, refine: bool, outer: bool) -> AbstractTable:
-    left = _abstract_eval_cached(query.left, env, refine)
-    right = _abstract_eval_cached(query.right, env, refine)
-    pred = query.pred
-    pred_known = not isinstance(pred, Hole)
-    rows = []
-    for lrow in left.rows:
-        for rrow in right.rows:
-            if pred_known and pred is not None and not outer:
-                # Concrete inner-join predicate over known values: apply it.
-                if all(c.known for c in lrow + rrow):
-                    if not pred.evaluate([c.value for c in lrow + rrow]):
-                        continue
-            rows.append(lrow + rrow)
-    if outer:
-        pad = tuple(AbstractCell(EMPTY_REFS, None, True, HEAD_REF)
-                    for _ in range(right.n_cols))
-        rows.extend(lrow + pad for lrow in left.rows)
-    exact = False  # the surviving row set depends on the predicate
-    if pred is None and not outer:
-        exact = left.rows_exact and right.rows_exact
-    return AbstractTable(tuple(rows), rows_exact=exact)
-
-
 def _union_refs(cells) -> frozenset:
     out = EMPTY_REFS
     for c in cells:
@@ -166,104 +90,318 @@ def _join_heads(cells) -> str:
     return HEAD_ANY
 
 
-@lru_cache(maxsize=50_000)
-def _column_heads(child: AbstractTable) -> tuple[str, ...]:
-    return tuple(_join_heads(child.column(j)) for j in range(child.n_cols))
+class ProvenanceAnalyzer:
+    """``[[q(T̄)]]◦`` with all memoization owned by this instance.
 
-
-@lru_cache(maxsize=50_000)
-def _column_unions(child: AbstractTable) -> tuple[frozenset, ...]:
-    return tuple(_union_refs(child.column(j)) for j in range(child.n_cols))
-
-
-@lru_cache(maxsize=50_000)
-def _table_union(child: AbstractTable) -> frozenset:
-    return _union_refs(c for row in child.rows for c in row)
-
-
-@lru_cache(maxsize=50_000)
-def _grouping(child: AbstractTable,
-              keys: tuple[int, ...]) -> tuple[tuple[int, ...], ...]:
-    """``extractGroups`` over concrete key shadows, cached per (child, keys).
-
-    Every (agg_col, agg_func) sibling in the search shares this grouping —
-    caching it is the difference between linear and quadratic enumeration
-    cost around grouping operators.
+    Concrete subqueries are evaluated through ``engine`` (tracked tables are
+    lifted to abstract cells), so the analyzer reuses the synthesis session's
+    subtree caches.
     """
-    key_rows = [[row[k].value for k in keys] for row in child.rows]
-    return tuple(tuple(g) for g in extract_groups(key_rows))
 
+    def __init__(self, engine=None,
+                 eval_cache_size: int | None = DEFAULT_EVAL_CACHE,
+                 helper_cache_size: int | None = DEFAULT_HELPER_CACHE) -> None:
+        if engine is None:
+            from repro.engine.row import RowEngine
+            engine = RowEngine()
+        self.engine = engine
+        self._tables: BoundedCache = BoundedCache(eval_cache_size)
+        self._column_heads: BoundedCache = BoundedCache(helper_cache_size)
+        self._column_unions: BoundedCache = BoundedCache(helper_cache_size)
+        self._table_unions: BoundedCache = BoundedCache(helper_cache_size)
+        self._groupings: BoundedCache = BoundedCache(helper_cache_size)
+        self._group_key_cells: BoundedCache = BoundedCache(helper_cache_size)
+        self._group_pool_refs: BoundedCache = BoundedCache(helper_cache_size)
 
-@lru_cache(maxsize=50_000)
-def _group_key_cells(child: AbstractTable, keys: tuple[int, ...]
-                     ) -> tuple[tuple[AbstractCell, ...], ...]:
-    groups = _grouping(child, keys)
-    heads = _column_heads(child)
-    return tuple(
-        tuple(AbstractCell(_union_refs(child.rows[i][k] for i in g),
-                           child.rows[g[0]][k].value, True, heads[k])
-              for k in keys)
-        for g in groups)
+    def clear(self) -> None:
+        """Drop memoized abstract results (between experiment runs)."""
+        self._tables.clear()
+        self._column_heads.clear()
+        self._column_unions.clear()
+        self._table_unions.clear()
+        self._groupings.clear()
+        self._group_key_cells.clear()
+        self._group_pool_refs.clear()
 
+    # ---------------------------------------------------------------- entry
+    def abstract_eval(self, query: ast.Query, env: ast.Env,
+                      target_refinement: bool = True) -> AbstractTable:
+        """``[[q(T̄)]]◦`` for a (possibly partial) query."""
+        key = (query, env, target_refinement)
+        hit = self._tables.get(key)
+        if hit is not None:
+            return hit
+        table = self._eval(query, env, target_refinement)
+        self._tables[key] = table
+        return table
 
-@lru_cache(maxsize=50_000)
-def _group_pool_refs(child: AbstractTable, keys: tuple[int, ...],
-                     agg_pool: tuple[int, ...]) -> tuple[frozenset, ...]:
-    """Per-group union of refs over the aggregation candidate columns."""
-    groups = _grouping(child, keys)
-    out = []
-    for g in groups:
-        refs = EMPTY_REFS
-        for i in g:
+    def _eval(self, query: ast.Query, env: ast.Env,
+              refine: bool) -> AbstractTable:
+        if is_concrete(query):
+            return self._lift_tracked(query, env)
+
+        if isinstance(query, ast.Filter):
+            child = self.abstract_eval(query.child, env, refine)
+            # An unknown predicate keeps at most these rows: same cells, row
+            # set no longer exact.
+            return AbstractTable(child.rows, rows_exact=False)
+
+        if isinstance(query, ast.Join):
+            return self._abstract_join(query, env, refine, outer=False)
+
+        if isinstance(query, ast.LeftJoin):
+            return self._abstract_join(query, env, refine, outer=True)
+
+        if isinstance(query, ast.Proj):
+            child = self.abstract_eval(query.child, env, refine)
+            if isinstance(query.cols, Hole):
+                return child
+            rows = tuple(tuple(row[c] for c in query.cols)
+                         for row in child.rows)
+            return AbstractTable(rows, rows_exact=child.rows_exact)
+
+        if isinstance(query, ast.Sort):
+            # Sorting permutes rows; the abstraction is order-insensitive, so
+            # the child's abstract table is already sound.
+            return self.abstract_eval(query.child, env, refine)
+
+        if isinstance(query, ast.Group):
+            return self._abstract_group(query, env, refine)
+
+        if isinstance(query, ast.Partition):
+            return self._abstract_partition(query, env, refine)
+
+        if isinstance(query, ast.Arithmetic):
+            return self._abstract_arithmetic(query, env, refine)
+
+        raise EvaluationError(f"no abstract rule for {type(query).__name__}")
+
+    def _lift_tracked(self, query: ast.Query, env: ast.Env) -> AbstractTable:
+        tracked = self.engine.evaluate_tracking(query, env)
+        rows = tuple(
+            tuple(AbstractCell(refs_of(expr), value, True, _expr_head(expr))
+                  for expr, value in zip(expr_row, value_row))
+            for expr_row, value_row in zip(tracked.exprs, tracked.values))
+        return AbstractTable(rows, rows_exact=True)
+
+    # ------------------------------------------------------- cached helpers
+    def column_heads(self, child: AbstractTable) -> tuple[str, ...]:
+        hit = self._column_heads.get(child)
+        if hit is None:
+            hit = tuple(_join_heads(child.column(j))
+                        for j in range(child.n_cols))
+            self._column_heads[child] = hit
+        return hit
+
+    def column_unions(self, child: AbstractTable) -> tuple[frozenset, ...]:
+        hit = self._column_unions.get(child)
+        if hit is None:
+            hit = tuple(_union_refs(child.column(j))
+                        for j in range(child.n_cols))
+            self._column_unions[child] = hit
+        return hit
+
+    def table_union(self, child: AbstractTable) -> frozenset:
+        hit = self._table_unions.get(child)
+        if hit is None:
+            hit = _union_refs(c for row in child.rows for c in row)
+            self._table_unions[child] = hit
+        return hit
+
+    def grouping(self, child: AbstractTable,
+                 keys: tuple[int, ...]) -> tuple[tuple[int, ...], ...]:
+        """``extractGroups`` over concrete key shadows, cached per
+        (child, keys).
+
+        Every (agg_col, agg_func) sibling in the search shares this grouping
+        — caching it is the difference between linear and quadratic
+        enumeration cost around grouping operators.
+        """
+        key = (child, keys)
+        hit = self._groupings.get(key)
+        if hit is None:
+            key_rows = [[row[k].value for k in keys] for row in child.rows]
+            hit = tuple(tuple(g) for g in extract_groups(key_rows))
+            self._groupings[key] = hit
+        return hit
+
+    def group_key_cells(self, child: AbstractTable, keys: tuple[int, ...]
+                        ) -> tuple[tuple[AbstractCell, ...], ...]:
+        key = (child, keys)
+        hit = self._group_key_cells.get(key)
+        if hit is None:
+            groups = self.grouping(child, keys)
+            heads = self.column_heads(child)
+            hit = tuple(
+                tuple(AbstractCell(_union_refs(child.rows[i][k] for i in g),
+                                   child.rows[g[0]][k].value, True, heads[k])
+                      for k in keys)
+                for g in groups)
+            self._group_key_cells[key] = hit
+        return hit
+
+    def group_pool_refs(self, child: AbstractTable, keys: tuple[int, ...],
+                        agg_pool: tuple[int, ...]) -> tuple[frozenset, ...]:
+        """Per-group union of refs over the aggregation candidate columns."""
+        key = (child, keys, agg_pool)
+        hit = self._group_pool_refs.get(key)
+        if hit is None:
+            groups = self.grouping(child, keys)
+            out = []
+            for g in groups:
+                refs = EMPTY_REFS
+                for i in g:
+                    for c in agg_pool:
+                        refs |= child.rows[i][c].refs
+                out.append(refs)
+            hit = tuple(out)
+            self._group_pool_refs[key] = hit
+        return hit
+
+    # ------------------------------------------------------- operator rules
+    def _abstract_join(self, query, env: ast.Env, refine: bool,
+                       outer: bool) -> AbstractTable:
+        left = self.abstract_eval(query.left, env, refine)
+        right = self.abstract_eval(query.right, env, refine)
+        pred = query.pred
+        pred_known = not isinstance(pred, Hole)
+        rows = []
+        for lrow in left.rows:
+            for rrow in right.rows:
+                if pred_known and pred is not None and not outer:
+                    # Concrete inner-join predicate over known values:
+                    # apply it.
+                    if all(c.known for c in lrow + rrow):
+                        if not pred.evaluate([c.value for c in lrow + rrow]):
+                            continue
+                rows.append(lrow + rrow)
+        if outer:
+            pad = tuple(AbstractCell(EMPTY_REFS, None, True, HEAD_REF)
+                        for _ in range(right.n_cols))
+            rows.extend(lrow + pad for lrow in left.rows)
+        exact = False  # the surviving row set depends on the predicate
+        if pred is None and not outer:
+            exact = left.rows_exact and right.rows_exact
+        return AbstractTable(tuple(rows), rows_exact=exact)
+
+    def _abstract_group(self, query: ast.Group, env: ast.Env,
+                        refine: bool) -> AbstractTable:
+        child = self.abstract_eval(query.child, env, refine)
+        n, m = child.n_rows, child.n_cols
+        agg_col = None if isinstance(query.agg_col, Hole) else query.agg_col
+        agg_func = None if isinstance(query.agg_func, Hole) else query.agg_func
+
+        if isinstance(query.keys, Hole):
+            # Weak: grouping unknown — every original column is a candidate
+            # key whose cells may collapse any subset of rows; the new column
+            # may draw from anywhere.
+            col_unions = self.column_unions(child)
+            heads = self.column_heads(child)
+            everything = self.table_union(child)
+            row = tuple(AbstractCell.unknown(u, h)
+                        for u, h in zip(col_unions, heads)) \
+                + (AbstractCell.unknown(everything, HEAD_AGGREGATE),)
+            return AbstractTable(tuple(row for _ in range(max(n, 1))),
+                                 rows_exact=False)
+
+        keys = query.keys
+        agg_pool = (agg_col,) if (refine and agg_col is not None) \
+            else tuple(c for c in range(m) if c not in keys)
+
+        if not child.column_known(keys):
+            # Medium: keys known, key values not yet concrete.
+            col_unions = self.column_unions(child)
+            heads = self.column_heads(child)
+            key_cells = tuple(AbstractCell.unknown(col_unions[k], heads[k])
+                              for k in keys)
+            new_refs = EMPTY_REFS
             for c in agg_pool:
-                refs |= child.rows[i][c].refs
-        out.append(refs)
-    return tuple(out)
+                new_refs |= col_unions[c]
+            row = key_cells + (AbstractCell.unknown(new_refs, HEAD_AGGREGATE),)
+            return AbstractTable(tuple(row for _ in range(max(n, 1))),
+                                 rows_exact=False)
 
+        # Strong: extractGroups over the concrete key values.
+        groups = self.grouping(child, keys)
+        key_cell_rows = self.group_key_cells(child, keys)
+        pool_refs = self.group_pool_refs(child, keys, agg_pool)
+        out_rows = []
+        for g, key_cells, new_refs in zip(groups, key_cell_rows, pool_refs):
+            new_cell = _aggregate_shadow(child, g, agg_col, agg_func, new_refs)
+            out_rows.append(key_cells + (new_cell,))
+        return AbstractTable(tuple(out_rows), rows_exact=child.rows_exact)
 
-def _abstract_group(query: ast.Group, env: ast.Env, refine: bool) -> AbstractTable:
-    child = _abstract_eval_cached(query.child, env, refine)
-    n, m = child.n_rows, child.n_cols
-    agg_col = None if isinstance(query.agg_col, Hole) else query.agg_col
-    agg_func = None if isinstance(query.agg_func, Hole) else query.agg_func
+    def _abstract_partition(self, query: ast.Partition, env: ast.Env,
+                            refine: bool) -> AbstractTable:
+        child = self.abstract_eval(query.child, env, refine)
+        n, m = child.n_rows, child.n_cols
+        agg_col = None if isinstance(query.agg_col, Hole) else query.agg_col
+        agg_func = None if isinstance(query.agg_func, Hole) else query.agg_func
 
-    if isinstance(query.keys, Hole):
-        # Weak: grouping unknown — every original column is a candidate key
-        # whose cells may collapse any subset of rows; the new column may
-        # draw from anywhere.
-        col_unions = _column_unions(child)
-        heads = _column_heads(child)
-        everything = _table_union(child)
-        row = tuple(AbstractCell.unknown(u, h)
-                    for u, h in zip(col_unions, heads)) \
-            + (AbstractCell.unknown(everything, HEAD_AGGREGATE),)
-        return AbstractTable(tuple(row for _ in range(max(n, 1))), rows_exact=False)
+        new_head = _analytic_head(agg_func)
 
-    keys = query.keys
-    agg_pool = (agg_col,) if (refine and agg_col is not None) \
-        else tuple(c for c in range(m) if c not in keys)
+        if isinstance(query.keys, Hole):
+            # Weak: any row may share a partition with any other.
+            everything = self.table_union(child)
+            rows = tuple(row + (AbstractCell.unknown(everything, new_head),)
+                         for row in child.rows)
+            return AbstractTable(rows, rows_exact=child.rows_exact)
 
-    if not child.column_known(keys):
-        # Medium: keys known, key values not yet concrete.
-        col_unions = _column_unions(child)
-        heads = _column_heads(child)
-        key_cells = tuple(AbstractCell.unknown(col_unions[k], heads[k])
-                          for k in keys)
-        new_refs = EMPTY_REFS
-        for c in agg_pool:
-            new_refs |= col_unions[c]
-        row = key_cells + (AbstractCell.unknown(new_refs, HEAD_AGGREGATE),)
-        return AbstractTable(tuple(row for _ in range(max(n, 1))), rows_exact=False)
+        keys = query.keys
+        agg_pool = (agg_col,) if (refine and agg_col is not None) \
+            else tuple(c for c in range(m) if c not in keys)
 
-    # Strong: extractGroups over the concrete key values.
-    groups = _grouping(child, keys)
-    key_cell_rows = _group_key_cells(child, keys)
-    pool_refs = _group_pool_refs(child, keys, agg_pool)
-    out_rows = []
-    for g, key_cells, new_refs in zip(groups, key_cell_rows, pool_refs):
-        new_cell = _aggregate_shadow(child, g, agg_col, agg_func, new_refs)
-        out_rows.append(key_cells + (new_cell,))
-    return AbstractTable(tuple(out_rows), rows_exact=child.rows_exact)
+        if not child.column_known(keys):
+            # Medium: keys known, partition membership unknown.
+            col_unions = self.column_unions(child)
+            new_refs = EMPTY_REFS
+            for c in agg_pool:
+                new_refs |= col_unions[c]
+            rows = tuple(row + (AbstractCell.unknown(new_refs, new_head),)
+                         for row in child.rows)
+            return AbstractTable(rows, rows_exact=child.rows_exact)
+
+        # Strong: partition membership is determined by the concrete key
+        # values.
+        groups = self.grouping(child, keys)
+        pool_refs = self.group_pool_refs(child, keys, agg_pool)
+        row_group: dict[int, int] = {}
+        for gi, g in enumerate(groups):
+            for i in g:
+                row_group[i] = gi
+        rows = []
+        for i, row in enumerate(child.rows):
+            gi = row_group[i]
+            new_cell = _partition_shadow(child, groups[gi], i, agg_col,
+                                         agg_func, pool_refs[gi])
+            rows.append(row + (new_cell,))
+        return AbstractTable(tuple(rows), rows_exact=child.rows_exact)
+
+    def _abstract_arithmetic(self, query: ast.Arithmetic, env: ast.Env,
+                             refine: bool) -> AbstractTable:
+        child = self.abstract_eval(query.child, env, refine)
+        func = None if isinstance(query.func, Hole) else query.func
+
+        if isinstance(query.cols, Hole):
+            # Weak: the new value may use any cell of its own row.
+            rows = tuple(
+                row + (AbstractCell.unknown(_union_refs(row),
+                                            HEAD_ARITHMETIC),)
+                for row in child.rows)
+            return AbstractTable(rows, rows_exact=child.rows_exact)
+
+        cols = query.cols
+        rows = []
+        for row in child.rows:
+            refs = _union_refs(row[c] for c in cols)
+            if func is not None and all(row[c].known for c in cols):
+                value = apply_function(func, [row[c].value for c in cols])
+                rows.append(row + (AbstractCell(refs, value, True,
+                                                HEAD_ARITHMETIC),))
+            else:
+                rows.append(row + (AbstractCell.unknown(refs,
+                                                        HEAD_ARITHMETIC),))
+        return AbstractTable(tuple(rows), rows_exact=child.rows_exact)
 
 
 def _aggregate_shadow(child: AbstractTable, group_rows,
@@ -277,52 +415,6 @@ def _aggregate_shadow(child: AbstractTable, group_rows,
         return AbstractCell.unknown(refs, HEAD_AGGREGATE)
     value = apply_function(agg_func, [c.value for c in member_cells])
     return AbstractCell(refs, value, True, HEAD_AGGREGATE)
-
-
-def _abstract_partition(query: ast.Partition, env: ast.Env,
-                        refine: bool) -> AbstractTable:
-    child = _abstract_eval_cached(query.child, env, refine)
-    n, m = child.n_rows, child.n_cols
-    agg_col = None if isinstance(query.agg_col, Hole) else query.agg_col
-    agg_func = None if isinstance(query.agg_func, Hole) else query.agg_func
-
-    new_head = _analytic_head(agg_func)
-
-    if isinstance(query.keys, Hole):
-        # Weak: any row may share a partition with any other.
-        everything = _table_union(child)
-        rows = tuple(row + (AbstractCell.unknown(everything, new_head),)
-                     for row in child.rows)
-        return AbstractTable(rows, rows_exact=child.rows_exact)
-
-    keys = query.keys
-    agg_pool = (agg_col,) if (refine and agg_col is not None) \
-        else tuple(c for c in range(m) if c not in keys)
-
-    if not child.column_known(keys):
-        # Medium: keys known, partition membership unknown.
-        col_unions = _column_unions(child)
-        new_refs = EMPTY_REFS
-        for c in agg_pool:
-            new_refs |= col_unions[c]
-        rows = tuple(row + (AbstractCell.unknown(new_refs, new_head),)
-                     for row in child.rows)
-        return AbstractTable(rows, rows_exact=child.rows_exact)
-
-    # Strong: partition membership is determined by the concrete key values.
-    groups = _grouping(child, keys)
-    pool_refs = _group_pool_refs(child, keys, agg_pool)
-    row_group: dict[int, int] = {}
-    for gi, g in enumerate(groups):
-        for i in g:
-            row_group[i] = gi
-    rows = []
-    for i, row in enumerate(child.rows):
-        gi = row_group[i]
-        new_cell = _partition_shadow(child, groups[gi], i, agg_col, agg_func,
-                                     pool_refs[gi])
-        rows.append(row + (new_cell,))
-    return AbstractTable(tuple(rows), rows_exact=child.rows_exact)
 
 
 def _partition_shadow(child: AbstractTable, group_rows, row: int,
@@ -344,40 +436,17 @@ def _partition_shadow(child: AbstractTable, group_rows, row: int,
     return AbstractCell(refs, apply_function(spec.term_name, args), True, head)
 
 
-def _abstract_arithmetic(query: ast.Arithmetic, env: ast.Env,
-                         refine: bool) -> AbstractTable:
-    child = _abstract_eval_cached(query.child, env, refine)
-    func = None if isinstance(query.func, Hole) else query.func
+def abstract_eval(query: ast.Query, env: ast.Env,
+                  target_refinement: bool = True,
+                  engine=None) -> AbstractTable:
+    """``[[q(T̄)]]◦`` via a transient analyzer (direct API / tests).
 
-    if isinstance(query.cols, Hole):
-        # Weak: the new value may use any cell of its own row.
-        rows = tuple(
-            row + (AbstractCell.unknown(_union_refs(row), HEAD_ARITHMETIC),)
-            for row in child.rows)
-        return AbstractTable(rows, rows_exact=child.rows_exact)
-
-    cols = query.cols
-    rows = []
-    for row in child.rows:
-        refs = _union_refs(row[c] for c in cols)
-        if func is not None and all(row[c].known for c in cols):
-            value = apply_function(func, [row[c].value for c in cols])
-            rows.append(row + (AbstractCell(refs, value, True,
-                                            HEAD_ARITHMETIC),))
-        else:
-            rows.append(row + (AbstractCell.unknown(refs, HEAD_ARITHMETIC),))
-    return AbstractTable(tuple(rows), rows_exact=child.rows_exact)
-
-
-def clear_cache() -> None:
-    """Drop memoized abstract results (used between experiment runs)."""
-    _abstract_eval_cached.cache_clear()
-    _column_unions.cache_clear()
-    _column_heads.cache_clear()
-    _table_union.cache_clear()
-    _grouping.cache_clear()
-    _group_key_cells.cache_clear()
-    _group_pool_refs.cache_clear()
+    Synthesis sessions should use a persistent :class:`ProvenanceAnalyzer`
+    (as :class:`ProvenanceAbstraction` does) so results are memoized across
+    calls.
+    """
+    return ProvenanceAnalyzer(engine).abstract_eval(query, env,
+                                                    target_refinement)
 
 
 class ProvenanceAbstraction(Abstraction):
@@ -390,13 +459,42 @@ class ProvenanceAbstraction(Abstraction):
         self.target_refinement = target_refinement
         self.value_shadow = value_shadow
         self.head_typing = head_typing
+        self._analyzer: ProvenanceAnalyzer | None = None
+        # One analyzer per engine ever bound: a transient rebind (per-run
+        # backend override) must not discard the session's memoization.
+        self._analyzers: dict[int, ProvenanceAnalyzer] = {}
+
+    def bind_engine(self, engine) -> None:
+        super().bind_engine(engine)
+        analyzer = self._analyzers.get(id(engine))
+        if analyzer is None or analyzer.engine is not engine:
+            analyzer = ProvenanceAnalyzer(engine)
+            self._analyzers[id(engine)] = analyzer
+            # Bounded: repeated per-run overrides must not accumulate.
+            # The first-bound (session) analyzer is never evicted; the
+            # oldest override analyzer goes instead.
+            while len(self._analyzers) > 4:
+                keys = iter(self._analyzers)
+                next(keys)                       # session analyzer — keep
+                self._analyzers.pop(next(keys))  # oldest override
+        self._analyzer = analyzer
+
+    @property
+    def analyzer(self) -> ProvenanceAnalyzer:
+        if self._analyzer is None:
+            self._analyzer = ProvenanceAnalyzer(self._engine())
+        return self._analyzer
 
     def feasible(self, query: ast.Query, env: ast.Env,
                  demo: Demonstration) -> bool:
-        table = abstract_eval(query, env, self.target_refinement)
+        table = self.analyzer.abstract_eval(query, env, self.target_refinement)
         return abstract_consistent(table, demo, env,
                                    value_shadow=self.value_shadow,
                                    head_typing=self.head_typing)
 
     def reset(self) -> None:
-        clear_cache()
+        super().reset()
+        for analyzer in self._analyzers.values():
+            analyzer.clear()
+        if self._analyzer is not None:
+            self._analyzer.clear()

@@ -13,15 +13,15 @@ demonstration is a fragment of the output, so only upper bounds can prune
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.abstraction.base import Abstraction
+from repro.engine.cache import BoundedCache
 from repro.errors import EvaluationError
 from repro.lang import ast
 from repro.lang.holes import Hole, is_concrete
 from repro.provenance.demo import Demonstration
-from repro.semantics.concrete import evaluate
 from repro.semantics.groups import extract_groups
 
 
@@ -39,23 +39,42 @@ class Shape:
         return Shape(rows, rows, cols, cols)
 
 
-def shape_of(query: ast.Query, env: ast.Env) -> Shape:
-    return _shape_cached(query, env)
+def shape_of(query: ast.Query, env: ast.Env, engine=None,
+             cache: MutableMapping | None = None) -> Shape:
+    """Output-shape interval, memoized through ``cache`` (owned by the
+    calling :class:`TypeAbstraction` — no module-global state)."""
+    if engine is None:
+        from repro.engine.row import RowEngine
+        engine = RowEngine()
+    if cache is None:
+        cache = {}
+    return _shape(query, env, engine, cache)
 
 
-@lru_cache(maxsize=100_000)
-def _shape_cached(query: ast.Query, env: ast.Env) -> Shape:
+def _shape(query: ast.Query, env: ast.Env, engine,
+           cache: MutableMapping) -> Shape:
+    key = (query, env)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    out = _shape_of(query, env, engine, cache)
+    cache[key] = out
+    return out
+
+
+def _shape_of(query: ast.Query, env: ast.Env, engine,
+              cache: MutableMapping) -> Shape:
     if is_concrete(query):
-        out = evaluate(query, env)
+        out = engine.evaluate(query, env)
         return Shape.exact(out.n_rows, out.n_cols)
 
     if isinstance(query, ast.Filter):
-        child = _shape_cached(query.child, env)
+        child = _shape(query.child, env, engine, cache)
         return Shape(0, child.rows_max, child.cols_min, child.cols_max)
 
     if isinstance(query, ast.Join):
-        left = _shape_cached(query.left, env)
-        right = _shape_cached(query.right, env)
+        left = _shape(query.left, env, engine, cache)
+        right = _shape(query.right, env, engine, cache)
         rows_max = left.rows_max * right.rows_max
         rows_min = rows_max if query.pred is None else 0
         return Shape(rows_min, rows_max,
@@ -63,31 +82,31 @@ def _shape_cached(query: ast.Query, env: ast.Env) -> Shape:
                      left.cols_max + right.cols_max)
 
     if isinstance(query, ast.LeftJoin):
-        left = _shape_cached(query.left, env)
-        right = _shape_cached(query.right, env)
+        left = _shape(query.left, env, engine, cache)
+        right = _shape(query.right, env, engine, cache)
         return Shape(left.rows_min, left.rows_max * max(right.rows_max, 1),
                      left.cols_min + right.cols_min,
                      left.cols_max + right.cols_max)
 
     if isinstance(query, ast.Proj):
-        child = _shape_cached(query.child, env)
+        child = _shape(query.child, env, engine, cache)
         if isinstance(query.cols, Hole):
             return Shape(child.rows_min, child.rows_max, 1, child.cols_max)
         n = len(query.cols)
         return Shape(child.rows_min, child.rows_max, n, n)
 
     if isinstance(query, ast.Sort):
-        return _shape_cached(query.child, env)
+        return _shape(query.child, env, engine, cache)
 
     if isinstance(query, ast.Group):
-        child = _shape_cached(query.child, env)
+        child = _shape(query.child, env, engine, cache)
         if isinstance(query.keys, Hole):
             return Shape(min(child.rows_min, 1), max(child.rows_max, 1),
                          1, child.cols_max + 1)
         n_keys = len(query.keys)
         if is_concrete(query.child):
             # Exact group count (the "most precise group number").
-            child_out = evaluate(query.child, env)
+            child_out = engine.evaluate(query.child, env)
             key_rows = [[row[k] for k in query.keys] for row in child_out.rows]
             n_groups = max(len(extract_groups(key_rows)), 1)
             return Shape.exact(n_groups, n_keys + 1)
@@ -95,20 +114,16 @@ def _shape_cached(query: ast.Query, env: ast.Env) -> Shape:
                      n_keys + 1, n_keys + 1)
 
     if isinstance(query, ast.Partition):
-        child = _shape_cached(query.child, env)
+        child = _shape(query.child, env, engine, cache)
         return Shape(child.rows_min, child.rows_max,
                      child.cols_min + 1, child.cols_max + 1)
 
     if isinstance(query, ast.Arithmetic):
-        child = _shape_cached(query.child, env)
+        child = _shape(query.child, env, engine, cache)
         return Shape(child.rows_min, child.rows_max,
                      child.cols_min + 1, child.cols_max + 1)
 
     raise EvaluationError(f"no type-abstract rule for {type(query).__name__}")
-
-
-def clear_cache() -> None:
-    _shape_cached.cache_clear()
 
 
 class TypeAbstraction(Abstraction):
@@ -116,10 +131,14 @@ class TypeAbstraction(Abstraction):
 
     name = "type"
 
+    def __init__(self, cache_size: int | None = 100_000) -> None:
+        self._cache: BoundedCache = BoundedCache(cache_size)
+
     def feasible(self, query: ast.Query, env: ast.Env,
                  demo: Demonstration) -> bool:
-        shape = shape_of(query, env)
+        shape = shape_of(query, env, self._engine(), self._cache)
         return demo.n_rows <= shape.rows_max and demo.n_cols <= shape.cols_max
 
     def reset(self) -> None:
-        clear_cache()
+        super().reset()
+        self._cache.clear()

@@ -17,15 +17,15 @@ provenance abstraction.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
 from dataclasses import dataclass
-from functools import lru_cache
 
 from repro.abstraction.base import Abstraction
+from repro.engine.cache import BoundedCache
 from repro.errors import EvaluationError, ExpressionError
 from repro.lang import ast
 from repro.lang.holes import Hole, is_concrete
 from repro.provenance.demo import Demonstration
-from repro.semantics.concrete import evaluate
 from repro.table.values import Value, canonical
 from repro.util.matching import bipartite_match
 
@@ -56,49 +56,65 @@ def _exact_columns(table) -> tuple[ColumnValues, ...]:
         for j in range(table.n_cols))
 
 
-def column_values_of(query: ast.Query, env: ast.Env) -> tuple[ColumnValues, ...]:
-    return _values_cached(query, env)
+def column_values_of(query: ast.Query, env: ast.Env, engine=None,
+                     cache: MutableMapping | None = None
+                     ) -> tuple[ColumnValues, ...]:
+    """Per-column possible-value sets, memoized through ``cache`` (owned by
+    the calling :class:`ValueAbstraction` — no module-global state)."""
+    if engine is None:
+        from repro.engine.row import RowEngine
+        engine = RowEngine()
+    if cache is None:
+        cache = {}
+    return _values(query, env, engine, cache)
 
 
-@lru_cache(maxsize=100_000)
-def _values_cached(query: ast.Query, env: ast.Env) -> tuple[ColumnValues, ...]:
+def _values(query: ast.Query, env: ast.Env, engine,
+            cache: MutableMapping) -> tuple[ColumnValues, ...]:
+    key = (query, env)
+    hit = cache.get(key)
+    if hit is not None:
+        return hit
+    out = _values_of(query, env, engine, cache)
+    cache[key] = out
+    return out
+
+
+def _values_of(query: ast.Query, env: ast.Env, engine,
+               cache: MutableMapping) -> tuple[ColumnValues, ...]:
     if is_concrete(query):
-        return _exact_columns(evaluate(query, env))
+        return _exact_columns(engine.evaluate(query, env))
 
     if isinstance(query, ast.Filter):
-        return _values_cached(query.child, env)
+        return _values(query.child, env, engine, cache)
 
     if isinstance(query, (ast.Join, ast.LeftJoin)):
-        left = _values_cached(query.left, env)
-        right = _values_cached(query.right, env)
+        left = _values(query.left, env, engine, cache)
+        right = _values(query.right, env, engine, cache)
         if isinstance(query, ast.LeftJoin):
             right = tuple(c.union(ColumnValues(frozenset((None,)), False))
                           for c in right)
         return left + right
 
     if isinstance(query, ast.Proj):
-        child = _values_cached(query.child, env)
+        child = _values(query.child, env, engine, cache)
         if isinstance(query.cols, Hole):
             return child
         return tuple(child[c] for c in query.cols)
 
     if isinstance(query, ast.Sort):
-        return _values_cached(query.child, env)
+        return _values(query.child, env, engine, cache)
 
     if isinstance(query, ast.Group):
-        child = _values_cached(query.child, env)
+        child = _values(query.child, env, engine, cache)
         if isinstance(query.keys, Hole):
             return child + (ColumnValues.top(),)
         return tuple(child[k] for k in query.keys) + (ColumnValues.top(),)
 
     if isinstance(query, (ast.Partition, ast.Arithmetic)):
-        return _values_cached(query.child, env) + (ColumnValues.top(),)
+        return _values(query.child, env, engine, cache) + (ColumnValues.top(),)
 
     raise EvaluationError(f"no value-abstract rule for {type(query).__name__}")
-
-
-def clear_cache() -> None:
-    _values_cached.cache_clear()
 
 
 class ValueAbstraction(Abstraction):
@@ -106,9 +122,12 @@ class ValueAbstraction(Abstraction):
 
     name = "value"
 
+    def __init__(self, cache_size: int | None = 100_000) -> None:
+        self._cache: BoundedCache = BoundedCache(cache_size)
+
     def feasible(self, query: ast.Query, env: ast.Env,
                  demo: Demonstration) -> bool:
-        columns = column_values_of(query, env)
+        columns = column_values_of(query, env, self._engine(), self._cache)
         if demo.n_cols > len(columns):
             return False
         demo_values = self._demo_values(demo, env)
@@ -132,4 +151,5 @@ class ValueAbstraction(Abstraction):
         return by_col
 
     def reset(self) -> None:
-        clear_cache()
+        super().reset()
+        self._cache.clear()

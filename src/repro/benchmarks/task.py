@@ -13,7 +13,6 @@ from functools import cached_property
 
 from repro.errors import BenchmarkError
 from repro.lang import ast
-from repro.lang.size import operator_count
 from repro.provenance.consistency import demo_consistent
 from repro.provenance.demo import Demonstration
 from repro.semantics.concrete import evaluate

@@ -1,0 +1,33 @@
+"""The pluggable evaluation engine layer.
+
+Algorithm 1 spends nearly all of its time evaluating thousands of
+structurally-shared (partial) queries.  This package makes *how* those
+evaluations run — and where their results are cached — a first-class,
+swappable component:
+
+* :class:`~repro.engine.base.EvalEngine` — the interface.  An engine owns
+  **all** evaluation state: the concrete cache, the tracking cache and hit
+  statistics.  Two engines never share state, so two synthesis sessions can
+  run interleaved (or concurrently) without interference.
+* :class:`~repro.engine.row.RowEngine` — the row-at-a-time tree interpreter
+  (the historical evaluator) behind the interface.
+* :class:`~repro.engine.columnar.ColumnarEngine` — column-major evaluation
+  over :class:`~repro.engine.columns.ColumnBlock` with vectorized
+  filter/join/group/analytic kernels; evaluated subtrees are cached by
+  structural key so a skeleton's shared concrete prefix is computed once
+  across all of its instantiations.
+
+``make_engine(name)`` is the factory the synthesis layer uses
+(``SynthesisConfig.backend`` selects the name).
+"""
+
+from repro.engine.base import BACKENDS, EngineStats, EvalEngine, make_engine
+from repro.engine.cache import BoundedCache
+from repro.engine.columnar import ColumnarEngine
+from repro.engine.columns import ColumnBlock
+from repro.engine.row import RowEngine
+
+__all__ = [
+    "BACKENDS", "EngineStats", "EvalEngine", "make_engine",
+    "BoundedCache", "ColumnBlock", "RowEngine", "ColumnarEngine",
+]

@@ -1,0 +1,78 @@
+"""The :class:`EvalEngine` interface and backend factory.
+
+An engine answers the two evaluation questions the rest of the system asks
+of a *concrete* query:
+
+* ``evaluate(q, env)`` — the standard semantics ``[[q(T̄)]]`` (a
+  :class:`~repro.table.table.Table`);
+* ``evaluate_tracking(q, env)`` — the provenance-tracking semantics
+  ``[[q(T̄)]]★`` (a :class:`~repro.semantics.tracking.TrackedTable`).
+
+and owns every byte of state those answers are memoized through.  The
+synthesizer, the hole-domain inference and all three abstractions evaluate
+exclusively through an engine, so swapping the backend swaps the evaluation
+strategy for the whole stack while search order and results stay identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.semantics.tracking import TrackedTable
+from repro.table.table import Table
+
+#: The selectable evaluation backends (``SynthesisConfig.backend``).
+BACKENDS: tuple[str, ...] = ("row", "columnar")
+
+
+@dataclass
+class EngineStats:
+    """Cache-hit counters an engine maintains across its lifetime."""
+
+    concrete_evals: int = 0     # evaluate() calls that missed the cache
+    concrete_hits: int = 0      # evaluate() calls served from cache
+    tracking_evals: int = 0     # evaluate_tracking() cache misses
+    tracking_hits: int = 0      # evaluate_tracking() cache hits
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class EvalEngine:
+    """Base class: subclasses implement the two evaluators and ``reset``."""
+
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.stats = EngineStats()
+
+    def evaluate(self, query: ast.Query, env: ast.Env) -> Table:
+        """``[[q(T̄)]]`` for a concrete query (raises ``HoleError`` on holes)."""
+        raise NotImplementedError
+
+    def evaluate_tracking(self, query: ast.Query, env: ast.Env) -> TrackedTable:
+        """``[[q(T̄)]]★`` for a concrete query (raises ``HoleError`` on holes)."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Drop all cached evaluation state and statistics."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+def make_engine(name: str = "columnar", **kwargs) -> EvalEngine:
+    """Factory: ``"row"`` | ``"columnar"``."""
+    from repro.engine.columnar import ColumnarEngine
+    from repro.engine.row import RowEngine
+
+    factories = {"row": RowEngine, "columnar": ColumnarEngine}
+    try:
+        factory = factories[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown engine backend {name!r}; choose from {sorted(factories)}"
+        ) from None
+    return factory(**kwargs)

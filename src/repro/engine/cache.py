@@ -1,0 +1,80 @@
+"""Engine-owned bounded caches.
+
+The seed memoized evaluation through module-global ``lru_cache``s — global
+mutable state that made concurrent synthesis sessions share (and clobber)
+each other's results.  :class:`BoundedCache` is the replacement: a plain
+LRU mapping that an engine *instance* owns, so cache lifetime is engine
+lifetime and ``reset()`` is engine-scoped.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from collections.abc import Iterator, MutableMapping
+
+
+class BoundedCache(MutableMapping):
+    """An LRU-evicting mapping with a fixed capacity.
+
+    Reads refresh recency; inserting past capacity evicts the least
+    recently used entry.  ``maxsize=None`` disables eviction (unbounded).
+    """
+
+    __slots__ = ("_data", "_maxsize")
+
+    def __init__(self, maxsize: int | None = None) -> None:
+        if maxsize is not None and maxsize < 1:
+            raise ValueError("maxsize must be >= 1 (or None for unbounded)")
+        self._maxsize = maxsize
+        self._data: OrderedDict = OrderedDict()
+
+    @property
+    def maxsize(self) -> int | None:
+        return self._maxsize
+
+    def __getitem__(self, key):
+        value = self._data[key]
+        self._data.move_to_end(key)
+        return value
+
+    _MISSING = object()
+
+    def get(self, key, default=None):
+        """Single-lookup get (the MutableMapping default is exception-driven
+        and this is the hottest call in the evaluation loop).
+
+        Recency is only tracked once the cache is half full — below that no
+        eviction is near, so LRU order cannot matter yet.
+        """
+        data = self._data
+        value = data.get(key, self._MISSING)
+        if value is self._MISSING:
+            return default
+        if self._maxsize is not None and len(data) * 2 >= self._maxsize:
+            data.move_to_end(key)
+        return value
+
+    def __setitem__(self, key, value) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
+        if self._maxsize is not None:
+            while len(self._data) > self._maxsize:
+                self._data.popitem(last=False)
+
+    def __delitem__(self, key) -> None:
+        del self._data[key]
+
+    def __iter__(self) -> Iterator:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __repr__(self) -> str:
+        return f"BoundedCache({len(self._data)}/{self._maxsize})"

@@ -1,0 +1,208 @@
+"""The column-major backend.
+
+``ColumnarEngine`` evaluates concrete queries bottom-up over
+:class:`~repro.engine.columns.ColumnBlock`s.  Two structural levers carry
+the speedup (PATSQL's lesson: column-oriented evaluation plus reuse of
+intermediate relational results is the decisive throughput factor for
+enumerative SQL synthesis):
+
+* every evaluated subtree is cached by structural key ``(query, env)`` —
+  the enumerator instantiates thousands of queries off one skeleton, and
+  their shared concrete prefix is computed exactly once;
+* intermediate results stay columnar: append-only operators share their
+  input's columns, and no per-node :class:`~repro.table.table.Table`
+  (with its cell-by-cell schema inference) is built until a caller
+  actually asks for a table.
+
+Provenance-tracking evaluation is cell-level term rewriting and stays on
+the shared tracking semantics — through an engine-owned cache — so both
+backends produce identical :class:`TrackedTable`s by construction.
+"""
+
+from __future__ import annotations
+
+from repro.engine import columns as kernels
+from repro.engine.base import EngineStats, EvalEngine
+from repro.engine.cache import BoundedCache
+from repro.engine.columns import ColumnBlock
+from repro.errors import EvaluationError, HoleError
+from repro.lang import ast
+from repro.lang.holes import Hole
+from repro.lang.naming import output_columns
+from repro.semantics import tracking
+from repro.semantics.tracking import TrackedTable
+from repro.table.schema import Schema, infer_type
+from repro.table.table import Table
+
+DEFAULT_BLOCK_CACHE = 100_000
+DEFAULT_TABLE_CACHE = 50_000
+DEFAULT_TRACKING_CACHE = 50_000
+
+
+class ColumnarEngine(EvalEngine):
+    """Columnar evaluator with structural-key subtree caching."""
+
+    name = "columnar"
+
+    def __init__(self, block_cache_size: int | None = DEFAULT_BLOCK_CACHE,
+                 table_cache_size: int | None = DEFAULT_TABLE_CACHE,
+                 tracking_cache_size: int | None = DEFAULT_TRACKING_CACHE) -> None:
+        super().__init__()
+        self._blocks: BoundedCache = BoundedCache(block_cache_size)
+        self._tables: BoundedCache = BoundedCache(table_cache_size)
+        self._tracking: BoundedCache = BoundedCache(tracking_cache_size)
+        # Reused partial computations: one extractGroups per (child, keys)
+        # shared by all sibling (agg_col, agg_func) candidates; inferred
+        # column types keyed by column-list identity (append-only kernels
+        # share untouched columns, so a passthrough column is typed once).
+        self._groupings: BoundedCache = BoundedCache(block_cache_size)
+        self._col_types: BoundedCache = BoundedCache(block_cache_size)
+        self._names: BoundedCache = BoundedCache(table_cache_size)
+        self._concreteness: BoundedCache = BoundedCache(table_cache_size)
+
+    # -------------------------------------------------------------- interface
+    def evaluate(self, query: ast.Query, env: ast.Env) -> Table:
+        key = (query, env)
+        hit = self._tables.get(key)
+        if hit is not None:
+            self.stats.concrete_hits += 1
+            return hit
+        if not self._is_concrete(query):
+            raise HoleError(
+                f"cannot concretely evaluate a partial query: {query}")
+        self.stats.concrete_evals += 1
+        block = self._block(query, env)
+        table = self._materialize(query, env, block)
+        self._tables[key] = table
+        return table
+
+    def evaluate_tracking(self, query: ast.Query, env: ast.Env) -> TrackedTable:
+        hit = self._tracking.get((query, env))
+        if hit is not None:
+            self.stats.tracking_hits += 1
+            return hit
+        self.stats.tracking_evals += 1
+        return tracking.track_missing(query, env, self._tracking)
+
+    def reset(self) -> None:
+        self._blocks.clear()
+        self._tables.clear()
+        self._tracking.clear()
+        self._groupings.clear()
+        self._col_types.clear()
+        self._names.clear()
+        self._concreteness.clear()
+        self.stats = EngineStats()
+
+    def _is_concrete(self, query: ast.Query) -> bool:
+        """Hole check with sharing: sibling candidates differ only at the
+        top, so their shared subtrees are checked once."""
+        hit = self._concreteness.get(query)
+        if hit is not None:
+            return hit
+        result = all(not isinstance(getattr(query, f), Hole)
+                     for f in query.param_fields()) and \
+            all(self._is_concrete(child) for child in query.child_queries())
+        self._concreteness[query] = result
+        return result
+
+    # ---------------------------------------------------------- materialize
+    def _materialize(self, query: ast.Query, env: ast.Env,
+                     block: ColumnBlock) -> Table:
+        """Build the boundary ``Table`` without re-inferring shared columns.
+
+        Produces exactly what ``Table.from_rows`` would: the per-column
+        type inference runs over the same value sequences, it is just
+        memoized by column identity.
+        """
+        names = tuple(output_columns(query, env, self._names))
+        types = tuple(self._column_type(col) for col in block.columns)
+        schema = Schema(names, types)
+        return Table("t", schema, tuple(block.row_tuples()))
+
+    def _column_type(self, col) -> str:
+        entry = self._col_types.get(id(col))
+        # The entry pins the column list alive, so its id cannot be reused
+        # while the entry exists; the identity check guards eviction races.
+        if entry is not None and entry[0] is col:
+            return entry[1]
+        inferred = infer_type(col)
+        self._col_types[id(col)] = (col, inferred)
+        return inferred
+
+    # ---------------------------------------------------------------- kernels
+    def _block(self, query: ast.Query, env: ast.Env) -> ColumnBlock:
+        key = (query, env)
+        hit = self._blocks.get(key)
+        if hit is not None:
+            return hit
+        block = self._compute_block(query, env)
+        self._blocks[key] = block
+        return block
+
+    def _compute_block(self, query: ast.Query, env: ast.Env) -> ColumnBlock:
+        if isinstance(query, ast.TableRef):
+            return ColumnBlock.from_table(env.get(query.name))
+
+        if isinstance(query, ast.Filter):
+            return kernels.filter_block(self._block(query.child, env),
+                                        query.pred)
+
+        if isinstance(query, ast.Join):
+            return kernels.join_blocks(self._block(query.left, env),
+                                       self._block(query.right, env),
+                                       query.pred)
+
+        if isinstance(query, ast.LeftJoin):
+            return kernels.left_join_blocks(self._block(query.left, env),
+                                            self._block(query.right, env),
+                                            query.pred)
+
+        if isinstance(query, ast.Proj):
+            return kernels.select_columns(self._block(query.child, env),
+                                          query.cols)
+
+        if isinstance(query, ast.Sort):
+            return kernels.sort_block(self._block(query.child, env),
+                                      query.cols, query.ascending)
+
+        if isinstance(query, ast.Group):
+            child = self._block(query.child, env)
+            groups = self._groups(query.child, env, query.keys, child)
+            key_columns = self._key_columns(query.child, env, query.keys,
+                                            child, groups)
+            return kernels.group_block(child, query.keys, query.agg_func,
+                                       query.agg_col, groups, key_columns)
+
+        if isinstance(query, ast.Partition):
+            child = self._block(query.child, env)
+            groups = self._groups(query.child, env, query.keys, child)
+            return kernels.partition_block(child, query.keys, query.agg_func,
+                                           query.agg_col, groups)
+
+        if isinstance(query, ast.Arithmetic):
+            return kernels.arithmetic_block(self._block(query.child, env),
+                                           query.func, query.cols)
+
+        raise EvaluationError(f"unknown query node {type(query).__name__}")
+
+    def _groups(self, child_query: ast.Query, env: ast.Env,
+                keys, child_block: ColumnBlock):
+        """``extractGroups`` shared across sibling aggregation candidates."""
+        key = (child_query, env, keys)
+        hit = self._groupings.get(key)
+        if hit is None:
+            hit = kernels.group_indices(child_block, keys)
+            self._groupings[key] = hit
+        return hit
+
+    def _key_columns(self, child_query: ast.Query, env: ast.Env,
+                     keys, child_block: ColumnBlock, groups):
+        """Group key output columns, shared (by identity, so the column-type
+        cache hits too) across sibling aggregation candidates."""
+        key = (child_query, env, keys, "key_cols")
+        hit = self._groupings.get(key)
+        if hit is None:
+            hit = kernels.group_key_columns(child_block, keys, groups)
+            self._groupings[key] = hit
+        return hit

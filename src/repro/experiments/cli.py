@@ -10,8 +10,9 @@ Usage::
     python -m repro.experiments.cli report [options]  # Observations 1-2
 
 Options: ``--suite forum|tpcds``, ``--difficulty easy|hard``,
-``--techniques provenance,value,type``, ``--easy-timeout S``,
-``--hard-timeout S``, ``--tasks name1,name2``, ``--csv FILE``.
+``--techniques provenance,value,type``, ``--backend row|columnar``,
+``--easy-timeout S``, ``--hard-timeout S``, ``--tasks name1,name2``,
+``--csv FILE``.
 """
 
 from __future__ import annotations
@@ -42,7 +43,8 @@ def _run(args):
     tasks = _select_tasks(args)
     techniques = tuple(args.techniques.split(","))
     config = RunConfig(easy_timeout_s=args.easy_timeout,
-                       hard_timeout_s=args.hard_timeout)
+                       hard_timeout_s=args.hard_timeout,
+                       backend=args.backend)
 
     def progress(result):
         status = "solved" if result.solved else "timeout"
@@ -61,6 +63,8 @@ def main(argv=None) -> int:
     parser.add_argument("--difficulty", choices=("easy", "hard"))
     parser.add_argument("--tasks", help="comma-separated task names")
     parser.add_argument("--techniques", default="provenance,value,type")
+    parser.add_argument("--backend", choices=("row", "columnar"),
+                        help="evaluation engine (default: task-configured)")
     parser.add_argument("--easy-timeout", type=float,
                         default=RunConfig().easy_timeout_s)
     parser.add_argument("--hard-timeout", type=float,

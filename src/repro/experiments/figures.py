@@ -101,12 +101,13 @@ def fig13_table(results: Sequence[TaskResult]) -> str:
 def results_csv(results: Sequence[TaskResult]) -> str:
     """Raw per-run results as CSV (for external analysis)."""
     header = ("task,suite,difficulty,technique,solved,time_s,visited,pruned,"
-              "concrete_checked,consistent_found,timed_out,rank,demo_cells")
+              "concrete_checked,consistent_found,timed_out,rank,demo_cells,"
+              "backend")
     rows = [header]
     for r in results:
         rows.append(
             f"{r.task},{r.suite},{r.difficulty},{r.technique},{r.solved},"
             f"{r.time_s:.3f},{r.visited},{r.pruned},{r.concrete_checked},"
             f"{r.consistent_found},{r.timed_out},"
-            f"{'' if r.rank is None else r.rank},{r.demo_cells}")
+            f"{'' if r.rank is None else r.rank},{r.demo_cells},{r.backend}")
     return "\n".join(rows) + "\n"

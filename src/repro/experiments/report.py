@@ -109,6 +109,10 @@ def observation_report(results: Sequence[TaskResult]) -> str:
     techniques = sorted({r.technique for r in results})
     n_tasks = len({r.task for r in results})
     lines = [f"=== Experiment report over {n_tasks} tasks ===", ""]
+    backends = sorted({r.backend for r in results if r.backend})
+    if backends:
+        lines.append("evaluation backend: " + ", ".join(backends))
+        lines.append("")
 
     lines.append("-- Observation 1: tasks solved (within timeout) --")
     counts = solved_counts(results)

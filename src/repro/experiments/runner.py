@@ -15,7 +15,7 @@ hardware-bound (the paper used 600 s; pure Python needs humbler defaults):
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.benchmarks.task import BenchmarkTask
 from repro.synthesis.equivalence import same_output
@@ -30,11 +30,12 @@ TECHNIQUES = ("provenance", "value", "type")
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Budgets for one experiment sweep."""
+    """Budgets (and evaluation backend) for one experiment sweep."""
 
     easy_timeout_s: float = DEFAULT_EASY_TIMEOUT
     hard_timeout_s: float = DEFAULT_HARD_TIMEOUT
     max_visited: int | None = None
+    backend: str | None = None      # None = each task's configured backend
 
     def timeout_for(self, task: BenchmarkTask) -> float:
         return (self.easy_timeout_s if task.difficulty == "easy"
@@ -58,6 +59,7 @@ class TaskResult:
     timed_out: bool
     rank: int | None            # size-rank of q_gt among consistent queries
     demo_cells: int
+    backend: str = ""           # evaluation backend that produced this run
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -67,15 +69,20 @@ def run_task(task: BenchmarkTask, technique: str,
              run_config: RunConfig | None = None) -> TaskResult:
     """Run one technique on one task until q_gt is found or timeout."""
     run_config = run_config or RunConfig()
-    config = task.config.replace(timeout_s=run_config.timeout_for(task),
-                                 max_visited=run_config.max_visited)
+    overrides: dict = dict(timeout_s=run_config.timeout_for(task),
+                           max_visited=run_config.max_visited)
+    if run_config.backend is not None:
+        overrides["backend"] = run_config.backend
+    config = task.config.replace(**overrides)
     synthesizer = Synthesizer(technique, config)
     synthesizer.reset()  # cold caches: each measurement is independent
 
     env = task.env
     gt = task.ground_truth
-    result = synthesizer.run(task.tables, task.demonstration,
-                             stop_predicate=lambda q: same_output(q, gt, env))
+    engine = synthesizer.engine
+    result = synthesizer.run(
+        task.tables, task.demonstration,
+        stop_predicate=lambda q: same_output(q, gt, env, engine))
 
     rank = None
     if result.target is not None:
@@ -90,7 +97,8 @@ def run_task(task: BenchmarkTask, technique: str,
         time_s=stats.elapsed_s, visited=stats.visited, pruned=stats.pruned,
         concrete_checked=stats.concrete_checked,
         consistent_found=stats.consistent_found, timed_out=stats.timed_out,
-        rank=rank, demo_cells=task.demonstration.size)
+        rank=rank, demo_cells=task.demonstration.size,
+        backend=synthesizer.engine.name)
 
 
 def run_suite(tasks, techniques=TECHNIQUES,

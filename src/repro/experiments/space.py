@@ -29,7 +29,9 @@ def count_search_space(env: Env, config: SynthesisConfig,
     the count); pruning is never applied.  ``cap`` stops early for huge
     spaces — the returned flag says whether the count is exact.
     """
+    from repro.engine.base import make_engine
     deadline = Deadline(timeout_s)
+    engine = make_engine(config.backend)  # one cache for the whole count
     total = 0
     stack = list(construct_skeletons(env, config))
     while stack:
@@ -40,6 +42,6 @@ def count_search_space(env: Env, config: SynthesisConfig,
         if position is None:
             total += 1
             continue
-        for value in hole_domain(query, position, env, config, demo):
+        for value in hole_domain(query, position, env, config, demo, engine):
             stack.append(fill(query, position, value))
     return total, True

@@ -42,10 +42,14 @@ class DistinguishingCell:
 
 
 def _grids(queries: Sequence[Query], env: Env):
+    # One shared cache: disambiguation candidates come from one synthesis
+    # run and share all but their topmost operators, so each common
+    # subtree is evaluated once across the whole candidate set.
+    cache: dict = {}
     grids = []
     for q in queries:
         try:
-            grids.append(evaluate(q, env))
+            grids.append(evaluate(q, env, cache))
         except Exception:
             grids.append(None)
     return grids

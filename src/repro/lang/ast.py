@@ -24,11 +24,26 @@ from repro.lang.predicates import Predicate
 from repro.table.table import Table
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=True)
 class Env:
     """The named input tables ¯T a query runs against."""
 
     tables: tuple[Table, ...]
+
+    def __hash__(self) -> int:
+        # Envs key every evaluation cache; hash the table tuple once.
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(self.tables)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # Drop the process-local cached hash (seeded str hashing) so
+        # pickled envs re-hash correctly in other processes.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
 
     @staticmethod
     def of(*tables: Table) -> "Env":
@@ -247,3 +262,36 @@ class Arithmetic(Query):
     def with_children(self, children: tuple[Query, ...]) -> "Arithmetic":
         (child,) = children
         return replace(self, child=child)
+
+
+def _install_cached_hash(cls) -> None:
+    """Wrap a node class's generated hash with per-instance caching.
+
+    Query trees are immutable and shared structurally; every evaluation
+    cache keys on them, so each node's hash is requested many times while
+    the dataclass-generated hash re-walks the whole subtree on every call.
+    The cached value is process-local (str hashing is seeded) and is
+    excluded from pickled state.
+    """
+    generated = cls.__hash__
+
+    def __hash__(self, _generated=generated):
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = _generated(self)
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    cls.__hash__ = __hash__
+    cls.__getstate__ = __getstate__
+
+
+for _node in (TableRef, Filter, Join, LeftJoin, Proj, Sort, Group,
+              Partition, Arithmetic):
+    _install_cached_hash(_node)
+del _node

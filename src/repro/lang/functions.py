@@ -176,6 +176,11 @@ class AnalyticSpec:
     term_name: str
     row_args: Callable[[Sequence, int], tuple]
     order_dependent: bool
+    #: Argument shape: "all" (every row sees the whole group), "prefix"
+    #: (rows see their prefix) or "ranked" (own value first, then the
+    #: group).  Columnar kernels dispatch on this to evaluate a group in
+    #: one pass instead of re-deriving per-row argument tuples.
+    style: str = "all"
 
 
 def _all_rows(items: Sequence, _i: int) -> tuple:
@@ -192,13 +197,17 @@ def _ranked(items: Sequence, i: int) -> tuple:
 
 _ANALYTICS = [
     # Plain aggregates used as window functions: every row sees the group total.
-    *[AnalyticSpec(name, name, _all_rows, order_dependent=False)
+    *[AnalyticSpec(name, name, _all_rows, order_dependent=False, style="all")
       for name in AGGREGATE_FUNCTIONS],
-    AnalyticSpec("cumsum", "sum", _prefix, order_dependent=True),
-    AnalyticSpec("cummax", "max", _prefix, order_dependent=True),
-    AnalyticSpec("cummin", "min", _prefix, order_dependent=True),
-    AnalyticSpec("cumavg", "avg", _prefix, order_dependent=True),
-    *[AnalyticSpec(name, name, _ranked, order_dependent=False)
+    AnalyticSpec("cumsum", "sum", _prefix, order_dependent=True,
+                 style="prefix"),
+    AnalyticSpec("cummax", "max", _prefix, order_dependent=True,
+                 style="prefix"),
+    AnalyticSpec("cummin", "min", _prefix, order_dependent=True,
+                 style="prefix"),
+    AnalyticSpec("cumavg", "avg", _prefix, order_dependent=True,
+                 style="prefix"),
+    *[AnalyticSpec(name, name, _ranked, order_dependent=False, style="ranked")
       for name in ("rank", "dense_rank", "rank_desc", "dense_rank_desc")],
 ]
 

@@ -7,6 +7,8 @@ intermediate result.
 
 from __future__ import annotations
 
+from collections.abc import MutableMapping
+
 from repro.errors import EvaluationError, HoleError
 from repro.lang import ast
 from repro.lang.holes import Hole
@@ -30,19 +32,40 @@ def joined_columns(left: list[str], right: list[str]) -> list[str]:
     return out
 
 
-def output_columns(query: ast.Query, env: ast.Env) -> list[str]:
-    """Column names of a *concrete* query's output."""
+def output_columns(query: ast.Query, env: ast.Env,
+                   cache: MutableMapping | None = None) -> list[str]:
+    """Column names of a *concrete* query's output.
+
+    ``cache`` (keyed by ``(query, env)``) memoizes every subtree's names —
+    the columnar engine names thousands of sibling candidates that share
+    all but their topmost operator.  Entries are returned by reference:
+    callers must not mutate the lists they receive from a cached call.
+    """
+    if cache is None:
+        return _output_columns(query, env, None)
+    key = (query, env)
+    hit = cache.get(key)
+    if hit is None:
+        hit = _output_columns(query, env, cache)
+        cache[key] = hit
+    return hit
+
+
+def _output_columns(query: ast.Query, env: ast.Env,
+                    cache: MutableMapping | None) -> list[str]:
+    def recurse(child: ast.Query) -> list[str]:
+        return output_columns(child, env, cache)
+
     if isinstance(query, ast.TableRef):
         return list(env.get(query.name).columns)
     if isinstance(query, (ast.Filter, ast.Sort)):
-        return output_columns(query.child, env)
+        return recurse(query.child)
     if isinstance(query, (ast.Join, ast.LeftJoin)):
-        return joined_columns(output_columns(query.left, env),
-                              output_columns(query.right, env))
+        return joined_columns(recurse(query.left), recurse(query.right))
     if isinstance(query, ast.Proj):
         if isinstance(query.cols, Hole):
             raise HoleError("cannot name the output of a partial proj")
-        child = output_columns(query.child, env)
+        child = recurse(query.child)
         names: list[str] = []
         for c in query.cols:
             names.append(fresh_name(child[c], names))
@@ -51,7 +74,7 @@ def output_columns(query: ast.Query, env: ast.Env) -> list[str]:
         if isinstance(query.keys, Hole) or isinstance(query.agg_col, Hole) \
                 or isinstance(query.agg_func, Hole):
             raise HoleError("cannot name the output of a partial group")
-        child = output_columns(query.child, env)
+        child = recurse(query.child)
         names = []
         for key_col in query.keys:
             names.append(fresh_name(child[key_col], names))
@@ -61,14 +84,14 @@ def output_columns(query: ast.Query, env: ast.Env) -> list[str]:
     if isinstance(query, ast.Partition):
         if isinstance(query.agg_col, Hole) or isinstance(query.agg_func, Hole):
             raise HoleError("cannot name the output of a partial partition")
-        names = list(output_columns(query.child, env))
+        names = list(recurse(query.child))
         base = query.alias or f"{query.agg_func}_{names[query.agg_col]}"
         names.append(fresh_name(base, names))
         return names
     if isinstance(query, ast.Arithmetic):
         if isinstance(query.cols, Hole) or isinstance(query.func, Hole):
             raise HoleError("cannot name the output of a partial arithmetic")
-        names = list(output_columns(query.child, env))
+        names = list(recurse(query.child))
         base = query.alias or f"{query.func}({', '.join(names[c] for c in query.cols)})"
         names.append(fresh_name(base, names))
         return names

@@ -38,6 +38,12 @@ def _compare(op: str, a: Value, b: Value) -> bool:
     raise ExpressionError(f"unknown comparison operator {op!r}")
 
 
+def compare_values(op: str, a: Value, b: Value) -> bool:
+    """Public comparison entry point (columnar kernels evaluate predicates
+    column-wise and must agree cell-for-cell with ``Predicate.evaluate``)."""
+    return _compare(op, a, b)
+
+
 class Predicate:
     """Base class; subclasses are immutable and hashable."""
 

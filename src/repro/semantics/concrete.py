@@ -1,58 +1,91 @@
 """Standard (concrete) evaluation of L_SQL queries.
 
 ``evaluate(q, env)`` returns an ordered-bag :class:`~repro.table.Table`.
-Evaluation is memoized on the (query, env) pair — the synthesizer evaluates
-thousands of structurally-shared partial queries' concrete subtrees, and the
-tables involved are tiny, so caching is a large win.
+Evaluation is memoized on the (query, env) pair *through a caller-supplied
+cache*: the synthesizer evaluates thousands of structurally-shared partial
+queries' concrete subtrees, and sharing a cache across those calls is a
+large win.  The cache is an ordinary mapping owned by whoever passes it in
+(normally an :class:`~repro.engine.base.EvalEngine`) — this module holds no
+global mutable state, so independent synthesis sessions never interfere.
 """
 
 from __future__ import annotations
 
-from functools import lru_cache
+from collections.abc import MutableMapping
 
 from repro.errors import EvaluationError, HoleError
 from repro.lang import ast
 from repro.lang.functions import analytic_spec, apply_function
-from repro.lang.holes import Hole, is_concrete
+from repro.lang.holes import is_concrete
 from repro.lang.naming import output_columns
 from repro.semantics.groups import extract_groups, group_of
 from repro.table.table import Table
 from repro.table.values import value_sort_key
 
 
-def evaluate(query: ast.Query, env: ast.Env) -> Table:
-    """Evaluate a concrete query; raises :class:`HoleError` on holes."""
+def evaluate(query: ast.Query, env: ast.Env,
+             cache: MutableMapping | None = None) -> Table:
+    """Evaluate a concrete query; raises :class:`HoleError` on holes.
+
+    ``cache`` maps ``(query, env)`` to evaluated tables and is consulted for
+    every subtree.  When omitted, a scratch cache local to this call is used
+    (subtrees shared *within* the query are still evaluated once).
+    """
     if not is_concrete(query):
         raise HoleError(f"cannot concretely evaluate a partial query: {query}")
-    return _evaluate_cached(query, env)
+    if cache is None:
+        cache = {}
+    return _evaluate(query, env, cache)
 
 
-@lru_cache(maxsize=100_000)
-def _evaluate_cached(query: ast.Query, env: ast.Env) -> Table:
-    rows = _rows(query, env)
+def evaluate_missing(query: ast.Query, env: ast.Env,
+                     cache: MutableMapping) -> Table:
+    """Compute (and cache) a query the caller already probed ``cache`` for.
+
+    The engine's hot path probes its cache before dispatching here; this
+    entry point skips the redundant second probe of the top-level key.
+    """
+    if not is_concrete(query):
+        raise HoleError(f"cannot concretely evaluate a partial query: {query}")
+    return _compute(query, env, cache)
+
+
+def _evaluate(query: ast.Query, env: ast.Env,
+              cache: MutableMapping) -> Table:
+    hit = cache.get((query, env))
+    if hit is not None:
+        return hit
+    return _compute(query, env, cache)
+
+
+def _compute(query: ast.Query, env: ast.Env,
+             cache: MutableMapping) -> Table:
+    rows = _rows(query, env, cache)
     columns = output_columns(query, env)
-    return Table.from_rows("t", columns, rows)
+    table = Table.from_rows("t", columns, rows)
+    cache[(query, env)] = table
+    return table
 
 
-def _rows(query: ast.Query, env: ast.Env) -> list[tuple]:
+def _rows(query: ast.Query, env: ast.Env, cache: MutableMapping) -> list[tuple]:
     if isinstance(query, ast.TableRef):
         return list(env.get(query.name).rows)
 
     if isinstance(query, ast.Filter):
-        child = _evaluate_cached(query.child, env)
+        child = _evaluate(query.child, env, cache)
         return [row for row in child.rows if query.pred.evaluate(row)]
 
     if isinstance(query, ast.Join):
-        left = _evaluate_cached(query.left, env)
-        right = _evaluate_cached(query.right, env)
+        left = _evaluate(query.left, env, cache)
+        right = _evaluate(query.right, env, cache)
         combined = [l + r for l in left.rows for r in right.rows]
         if query.pred is None:
             return combined
         return [row for row in combined if query.pred.evaluate(row)]
 
     if isinstance(query, ast.LeftJoin):
-        left = _evaluate_cached(query.left, env)
-        right = _evaluate_cached(query.right, env)
+        left = _evaluate(query.left, env, cache)
+        right = _evaluate(query.right, env, cache)
         pad = (None,) * right.n_cols
         out = []
         for l in left.rows:
@@ -61,11 +94,11 @@ def _rows(query: ast.Query, env: ast.Env) -> list[tuple]:
         return out
 
     if isinstance(query, ast.Proj):
-        child = _evaluate_cached(query.child, env)
+        child = _evaluate(query.child, env, cache)
         return [tuple(row[c] for c in query.cols) for row in child.rows]
 
     if isinstance(query, ast.Sort):
-        child = _evaluate_cached(query.child, env)
+        child = _evaluate(query.child, env, cache)
         keyed = sorted(
             child.rows,
             key=lambda row: tuple(value_sort_key(row[c]) for c in query.cols),
@@ -73,7 +106,7 @@ def _rows(query: ast.Query, env: ast.Env) -> list[tuple]:
         return list(keyed)
 
     if isinstance(query, ast.Group):
-        child = _evaluate_cached(query.child, env)
+        child = _evaluate(query.child, env, cache)
         key_rows = [[row[k] for k in query.keys] for row in child.rows]
         groups = extract_groups(key_rows)
         out = []
@@ -85,7 +118,7 @@ def _rows(query: ast.Query, env: ast.Env) -> list[tuple]:
         return out
 
     if isinstance(query, ast.Partition):
-        child = _evaluate_cached(query.child, env)
+        child = _evaluate(query.child, env, cache)
         key_rows = [[row[k] for k in query.keys] for row in child.rows]
         groups = extract_groups(key_rows)
         spec = analytic_spec(query.agg_func)
@@ -98,13 +131,8 @@ def _rows(query: ast.Query, env: ast.Env) -> list[tuple]:
         return out
 
     if isinstance(query, ast.Arithmetic):
-        child = _evaluate_cached(query.child, env)
+        child = _evaluate(query.child, env, cache)
         return [row + (apply_function(query.func, [row[c] for c in query.cols]),)
                 for row in child.rows]
 
     raise EvaluationError(f"unknown query node {type(query).__name__}")
-
-
-def clear_cache() -> None:
-    """Drop the memoized evaluation results (used between experiment runs)."""
-    _evaluate_cached.cache_clear()

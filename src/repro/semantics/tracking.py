@@ -15,7 +15,7 @@ aggregations — e.g. a ``cumsum`` over per-group ``sum``s becomes one flat
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
+from collections.abc import MutableMapping
 
 from repro.errors import EvaluationError, HoleError
 from repro.lang import ast
@@ -57,21 +57,49 @@ class TrackedTable:
         return self.exprs
 
 
-def evaluate_tracking(query: ast.Query, env: ast.Env) -> TrackedTable:
-    """Provenance-tracking evaluation; raises :class:`HoleError` on holes."""
+def evaluate_tracking(query: ast.Query, env: ast.Env,
+                      cache: MutableMapping | None = None) -> TrackedTable:
+    """Provenance-tracking evaluation; raises :class:`HoleError` on holes.
+
+    ``cache`` maps ``(query, env)`` to tracked tables and is consulted for
+    every subtree; it is owned by the caller (normally an
+    :class:`~repro.engine.base.EvalEngine`).  When omitted, a scratch cache
+    local to this call is used.
+    """
     if not is_concrete(query):
         raise HoleError(f"cannot track a partial query: {query}")
-    return _track_cached(query, env)
+    if cache is None:
+        cache = {}
+    return _track(query, env, cache)
 
 
-@lru_cache(maxsize=50_000)
-def _track_cached(query: ast.Query, env: ast.Env) -> TrackedTable:
+def track_missing(query: ast.Query, env: ast.Env,
+                  cache: MutableMapping) -> TrackedTable:
+    """Compute (and cache) a query the caller already probed ``cache`` for
+    (the engines' hot path — skips the redundant top-level probe)."""
+    if not is_concrete(query):
+        raise HoleError(f"cannot track a partial query: {query}")
+    return _compute(query, env, cache)
+
+
+def _track(query: ast.Query, env: ast.Env,
+           cache: MutableMapping) -> TrackedTable:
+    hit = cache.get((query, env))
+    if hit is not None:
+        return hit
+    return _compute(query, env, cache)
+
+
+def _compute(query: ast.Query, env: ast.Env,
+             cache: MutableMapping) -> TrackedTable:
     columns = tuple(output_columns(query, env))
-    exprs, values = _grids(query, env)
-    return TrackedTable(columns, exprs, values)
+    exprs, values = _grids(query, env, cache)
+    tracked = TrackedTable(columns, exprs, values)
+    cache[(query, env)] = tracked
+    return tracked
 
 
-def _grids(query: ast.Query, env: ast.Env):
+def _grids(query: ast.Query, env: ast.Env, cache: MutableMapping):
     if isinstance(query, ast.TableRef):
         table = env.get(query.name)
         exprs = tuple(
@@ -80,15 +108,15 @@ def _grids(query: ast.Query, env: ast.Env):
         return exprs, table.rows
 
     if isinstance(query, ast.Filter):
-        child = _track_cached(query.child, env)
+        child = _track(query.child, env, cache)
         keep = [i for i, row in enumerate(child.values)
                 if query.pred.evaluate(row)]
         return (tuple(child.exprs[i] for i in keep),
                 tuple(child.values[i] for i in keep))
 
     if isinstance(query, ast.Join):
-        left = _track_cached(query.left, env)
-        right = _track_cached(query.right, env)
+        left = _track(query.left, env, cache)
+        right = _track(query.right, env, cache)
         exprs, values = [], []
         for i in range(left.n_rows):
             for j in range(right.n_rows):
@@ -99,8 +127,8 @@ def _grids(query: ast.Query, env: ast.Env):
         return tuple(exprs), tuple(values)
 
     if isinstance(query, ast.LeftJoin):
-        left = _track_cached(query.left, env)
-        right = _track_cached(query.right, env)
+        left = _track(query.left, env, cache)
+        right = _track(query.right, env, cache)
         pad_exprs = tuple(Const(None) for _ in range(right.n_cols))
         pad_values = (None,) * right.n_cols
         exprs, values = [], []
@@ -118,12 +146,12 @@ def _grids(query: ast.Query, env: ast.Env):
         return tuple(exprs), tuple(values)
 
     if isinstance(query, ast.Proj):
-        child = _track_cached(query.child, env)
+        child = _track(query.child, env, cache)
         return (tuple(tuple(row[c] for c in query.cols) for row in child.exprs),
                 tuple(tuple(row[c] for c in query.cols) for row in child.values))
 
     if isinstance(query, ast.Sort):
-        child = _track_cached(query.child, env)
+        child = _track(query.child, env, cache)
         order = sorted(
             range(child.n_rows),
             key=lambda i: tuple(value_sort_key(child.values[i][c])
@@ -133,7 +161,7 @@ def _grids(query: ast.Query, env: ast.Env):
                 tuple(child.values[i] for i in order))
 
     if isinstance(query, ast.Group):
-        child = _track_cached(query.child, env)
+        child = _track(query.child, env, cache)
         key_rows = [[row[k] for k in query.keys] for row in child.values]
         groups = extract_groups(key_rows)
         exprs, values = [], []
@@ -152,7 +180,7 @@ def _grids(query: ast.Query, env: ast.Env):
         return tuple(exprs), tuple(values)
 
     if isinstance(query, ast.Partition):
-        child = _track_cached(query.child, env)
+        child = _track(query.child, env, cache)
         key_rows = [[row[k] for k in query.keys] for row in child.values]
         groups = extract_groups(key_rows)
         spec = analytic_spec(query.agg_func)
@@ -169,7 +197,7 @@ def _grids(query: ast.Query, env: ast.Env):
         return tuple(exprs), tuple(values)
 
     if isinstance(query, ast.Arithmetic):
-        child = _track_cached(query.child, env)
+        child = _track(query.child, env, cache)
         exprs, values = [], []
         for i in range(child.n_rows):
             arg_exprs = tuple(child.exprs[i][c] for c in query.cols)
@@ -179,8 +207,3 @@ def _grids(query: ast.Query, env: ast.Env):
         return tuple(exprs), tuple(values)
 
     raise EvaluationError(f"unknown query node {type(query).__name__}")
-
-
-def clear_cache() -> None:
-    """Drop memoized tracking results (used between experiment runs)."""
-    _track_cached.cache_clear()

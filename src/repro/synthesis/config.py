@@ -9,7 +9,7 @@ are identical across techniques (§5.1, "Baselines").
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.lang.functions import (
     AGGREGATE_FUNCTIONS,
@@ -35,6 +35,12 @@ class SynthesisConfig:
     top_n: int = 10                 # stop after N consistent queries
     timeout_s: float | None = None  # wall-clock budget (None = unbounded)
     max_visited: int | None = None  # visited-query budget (None = unbounded)
+
+    # Evaluation backend (repro.engine): "columnar" (default) evaluates over
+    # column-major blocks with structural-key subtree caching; "row" is the
+    # row-at-a-time tree interpreter.  Both produce identical results — the
+    # knob trades evaluation strategy, never search behavior.
+    backend: str = "columnar"
 
     # Worklist strategy.  "sized_dfs" (default) explores skeleton sizes
     # smallest-first and completes hole instantiation depth-first within a
@@ -78,6 +84,8 @@ class SynthesisConfig:
             raise ValueError("top_n must be >= 1")
         if self.strategy not in ("sized_dfs", "bfs", "dfs"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
+        if self.backend not in ("row", "columnar"):
+            raise ValueError(f"unknown backend {self.backend!r}")
 
     def replace(self, **kwargs) -> "SynthesisConfig":
         from dataclasses import replace as dc_replace

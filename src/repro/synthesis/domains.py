@@ -41,8 +41,6 @@ from repro.lang.predicates import ColCmp, ConstCmp
 from repro.provenance.demo import Demonstration
 from repro.provenance.expr import CellRef, FuncApp
 from repro.provenance.refs import refs_of
-from repro.semantics.concrete import evaluate
-from repro.semantics.tracking import evaluate_tracking
 from repro.synthesis.config import SynthesisConfig
 from repro.table.table import Table
 from repro.table.values import value_type
@@ -50,46 +48,55 @@ from repro.table.values import value_type
 
 def hole_domain(query: ast.Query, position: HolePosition, env: ast.Env,
                 config: SynthesisConfig,
-                demo: Demonstration | None = None) -> list:
-    """Candidate values for the hole at ``position``."""
+                demo: Demonstration | None = None,
+                engine=None) -> list:
+    """Candidate values for the hole at ``position``.
+
+    Concrete children are evaluated through ``engine`` (the synthesis
+    session's engine, so the enumerator's subtree caches are reused); a
+    transient engine is created when none is supplied.
+    """
+    if engine is None:
+        from repro.engine.row import RowEngine
+        engine = RowEngine()
     path, field = position
     node = node_at(query, path)
 
     if isinstance(node, (ast.Group, ast.Partition)):
         child = node.child_queries()[0]
-        child_out = evaluate(child, env)
+        child_out = engine.evaluate(child, env)
         if field == "keys":
             domain = _key_domains(child_out, config)
-            return _order_keys(domain, child, env, demo)
+            return _order_keys(domain, child, env, demo, engine)
         if field == "agg_col":
             domain = _agg_col_domain(node, child_out)
-            return _order_agg_cols(domain, child, env, demo)
+            return _order_agg_cols(domain, child, env, demo, engine)
         if field == "agg_func":
             return _agg_func_domain(node, child_out, config)
 
     if isinstance(node, ast.Arithmetic):
-        child_out = evaluate(node.child_queries()[0], env)
+        child_out = engine.evaluate(node.child_queries()[0], env)
         if field == "cols":
             return _arith_cols_domain(child_out)
         if field == "func":
             return _arith_func_domain(node, config)
 
     if isinstance(node, ast.Filter) and field == "pred":
-        child_out = evaluate(node.child_queries()[0], env)
+        child_out = engine.evaluate(node.child_queries()[0], env)
         return _filter_pred_domain(child_out, config)
 
     if isinstance(node, (ast.Join, ast.LeftJoin)) and field == "pred":
         return _join_pred_domain(node, env)
 
     if isinstance(node, ast.Sort):
-        child_out = evaluate(node.child_queries()[0], env)
+        child_out = engine.evaluate(node.child_queries()[0], env)
         if field == "cols":
             return _sort_cols_domain(child_out, config)
         if field == "ascending":
             return [True, False]
 
     if isinstance(node, ast.Proj) and field == "cols":
-        child_out = evaluate(node.child_queries()[0], env)
+        child_out = engine.evaluate(node.child_queries()[0], env)
         return [tuple(c) for size in range(1, child_out.n_cols + 1)
                 for c in combinations(range(child_out.n_cols), size)]
 
@@ -102,9 +109,9 @@ def _numeric_cols(table: Table) -> list[int]:
             if table.schema.types[j] == "number"]
 
 
-def _child_column_refs(child: ast.Query, env: ast.Env):
+def _child_column_refs(child: ast.Query, env: ast.Env, engine):
     """Per-column input-cell reference sets of a concrete child's output."""
-    tracked = evaluate_tracking(child, env)
+    tracked = engine.evaluate_tracking(child, env)
     return [frozenset().union(*(refs_of(tracked.exprs[i][c])
                                 for i in range(tracked.n_rows)))
             if tracked.n_rows else frozenset()
@@ -112,9 +119,9 @@ def _child_column_refs(child: ast.Query, env: ast.Env):
 
 
 def _suggested_key_cols(child: ast.Query, env: ast.Env,
-                        demo: Demonstration) -> frozenset[int]:
+                        demo: Demonstration, engine) -> frozenset[int]:
     """Child columns that plain-reference demo columns point at."""
-    col_refs = _child_column_refs(child, env)
+    col_refs = _child_column_refs(child, env, engine)
     suggested = set()
     for j in range(demo.n_cols):
         cells = [demo.cell(i, j) for i in range(demo.n_rows)]
@@ -128,10 +135,10 @@ def _suggested_key_cols(child: ast.Query, env: ast.Env,
 
 
 def _order_keys(domain: list[tuple[int, ...]], child: ast.Query,
-                env: ast.Env, demo: Demonstration | None) -> list:
+                env: ast.Env, demo: Demonstration | None, engine) -> list:
     if demo is None:
         return domain
-    suggested = _suggested_key_cols(child, env, demo)
+    suggested = _suggested_key_cols(child, env, demo, engine)
     if not suggested:
         return domain
     return sorted(domain, key=lambda keys: (-len(suggested & set(keys)),
@@ -139,9 +146,9 @@ def _order_keys(domain: list[tuple[int, ...]], child: ast.Query,
 
 
 def _suggested_agg_cols(child: ast.Query, env: ast.Env,
-                        demo: Demonstration) -> frozenset[int]:
+                        demo: Demonstration, engine) -> frozenset[int]:
     """Child columns whose refs cover an aggregate-headed demo cell."""
-    col_refs = _child_column_refs(child, env)
+    col_refs = _child_column_refs(child, env, engine)
     suggested = set()
     for row in demo.cells:
         for cell in row:
@@ -155,10 +162,10 @@ def _suggested_agg_cols(child: ast.Query, env: ast.Env,
 
 
 def _order_agg_cols(domain: list[int], child: ast.Query, env: ast.Env,
-                    demo: Demonstration | None) -> list[int]:
+                    demo: Demonstration | None, engine) -> list[int]:
     if demo is None:
         return domain
-    suggested = _suggested_agg_cols(child, env, demo)
+    suggested = _suggested_agg_cols(child, env, demo, engine)
     if not suggested:
         return domain
     return sorted(domain, key=lambda c: (c not in suggested, c))

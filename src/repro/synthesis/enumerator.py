@@ -19,12 +19,12 @@ from dataclasses import dataclass, field
 from collections.abc import Callable
 
 from repro.abstraction.base import Abstraction
+from repro.engine.base import EvalEngine, make_engine
 from repro.lang import ast
 from repro.lang.holes import fill, first_hole, is_concrete
 from repro.lang.size import operator_count
 from repro.provenance.consistency import demo_consistent
 from repro.provenance.demo import Demonstration
-from repro.semantics.tracking import evaluate_tracking
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.domains import hole_domain
 from repro.synthesis.shape import shape_feasible
@@ -86,12 +86,24 @@ class _Worklist:
 
     def pop(self) -> tuple[int, int, ast.Query]:
         if self.strategy in ("bfs", "dfs"):
-            return self._fifo.popleft()
+            try:
+                return self._fifo.popleft()
+            except IndexError:
+                raise IndexError("pop from an empty worklist") from None
+        if not self._order:
+            raise IndexError("pop from an empty worklist")
         idx = self._rr % len(self._order)
-        # Drop exhausted lanes as they are encountered.
+        # Drop exhausted lanes as they are encountered.  The last live lane
+        # can drain mid-scan (e.g. after pushes rescinded by a caller), so
+        # every shrink of ``_order`` must re-check before re-indexing —
+        # otherwise this loop dies with ZeroDivisionError/KeyError instead
+        # of reporting exhaustion.
         while not self._stacks[self._order[idx]]:
             del self._stacks[self._order[idx]]
             self._order.pop(idx)
+            if not self._order:
+                self._count = 0
+                raise IndexError("pop from an empty worklist")
             idx %= len(self._order)
         lane_id = self._order[idx]
         query = self._stacks[lane_id].pop()
@@ -142,6 +154,7 @@ def enumerate_queries(
         config: SynthesisConfig,
         abstraction: Abstraction,
         stop_predicate: Callable[[ast.Query], bool] | None = None,
+        engine: EvalEngine | None = None,
 ) -> SynthesisResult:
     """Run Algorithm 1.
 
@@ -149,7 +162,14 @@ def enumerate_queries(
     consistent queries (the tool's interactive mode).  With it, the search
     runs until a consistent query satisfies the predicate (the experiment
     mode) or the budget expires.
+
+    All evaluation goes through ``engine`` (built from ``config.backend``
+    when not supplied); the abstraction is bound to the same engine so the
+    whole run shares one set of subtree caches.
     """
+    if engine is None:
+        engine = make_engine(config.backend)
+        abstraction.bind_engine(engine)
     watch = Stopwatch()
     deadline = Deadline(config.timeout_s)
     result = SynthesisResult()
@@ -177,7 +197,7 @@ def enumerate_queries(
 
         if is_concrete(query):
             stats.concrete_checked += 1
-            if _consistent(query, env, demo):
+            if _consistent(query, env, demo, engine):
                 stats.consistent_found += 1
                 result.queries.append(query)
                 if stop_predicate is not None and stop_predicate(query):
@@ -196,7 +216,7 @@ def enumerate_queries(
         position = first_hole(query)
         assert position is not None  # query is partial here
         stats.expanded += 1
-        domain = hole_domain(query, position, env, config, demo)
+        domain = hole_domain(query, position, env, config, demo, engine)
         # Reversed for LIFO lanes: candidates are explored in domain order.
         if config.strategy == "bfs":
             for value in domain:
@@ -209,7 +229,8 @@ def enumerate_queries(
     return result
 
 
-def _consistent(query: ast.Query, env: ast.Env, demo: Demonstration) -> bool:
+def _consistent(query: ast.Query, env: ast.Env, demo: Demonstration,
+                engine: EvalEngine) -> bool:
     """``E ≺ [[q(T̄)]]★`` with defensive guards.
 
     Some concrete candidates are ill-typed on the given data in ways domain
@@ -217,7 +238,7 @@ def _consistent(query: ast.Query, env: ast.Env, demo: Demonstration) -> bool:
     division); those evaluate to errors and are simply not solutions.
     """
     try:
-        tracked = evaluate_tracking(query, env)
+        tracked = engine.evaluate_tracking(query, env)
     except (TypeError, ValueError, ZeroDivisionError):
         return False
     return demo_consistent(tracked.exprs, demo.cells)

@@ -14,7 +14,7 @@ from __future__ import annotations
 from collections import Counter
 
 from repro.lang.ast import Env, Query
-from repro.semantics.concrete import evaluate
+from repro.semantics import concrete
 from repro.table.table import Table
 from repro.table.values import canonical
 
@@ -60,8 +60,14 @@ def tables_equivalent(reference: Table, candidate: Table) -> bool:
     return assign(0)
 
 
-def same_output(candidate: Query, ground_truth: Query, env: Env) -> bool:
-    """True when the candidate reproduces the ground truth's output."""
+def same_output(candidate: Query, ground_truth: Query, env: Env,
+                engine=None) -> bool:
+    """True when the candidate reproduces the ground truth's output.
+
+    Pass the synthesis session's engine to reuse its subtree caches (the
+    experiment runner checks every consistent query against q_gt).
+    """
+    evaluate = concrete.evaluate if engine is None else engine.evaluate
     try:
         cand_out = evaluate(candidate, env)
     except (TypeError, ValueError, ZeroDivisionError):

@@ -4,6 +4,13 @@
 abstraction, run Algorithm 1, and return ranked consistent queries.  The
 :class:`Synthesizer` class is the reusable variant for experiment loops
 (keeps the abstraction object and clears its caches between tasks).
+
+Each :class:`Synthesizer` owns its own :class:`~repro.engine.base.EvalEngine`
+(selected by ``config.backend``), and the abstraction is bound to it — every
+byte of evaluation state is scoped to this instance, so independent
+synthesizers can run interleaved (or on separate threads) without sharing
+or clobbering caches.  :meth:`Synthesizer.reset` is correspondingly
+engine-scoped: it clears *this* session's caches and nobody else's.
 """
 
 from __future__ import annotations
@@ -11,9 +18,9 @@ from __future__ import annotations
 from collections.abc import Callable, Sequence
 
 from repro.abstraction.base import Abstraction, make_abstraction
+from repro.engine.base import EvalEngine, make_engine
 from repro.lang.ast import Env, Query
 from repro.provenance.demo import Demonstration
-from repro.semantics import concrete, tracking
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.enumerator import SynthesisResult, enumerate_queries
 from repro.synthesis.ranking import rank_queries
@@ -35,24 +42,46 @@ class Synthesizer:
     """Reusable synthesis engine bound to one abstraction technique."""
 
     def __init__(self, abstraction: str | Abstraction = "provenance",
-                 config: SynthesisConfig | None = None) -> None:
+                 config: SynthesisConfig | None = None,
+                 engine: EvalEngine | None = None) -> None:
         self.config = config or SynthesisConfig()
+        if engine is not None and engine.name != self.config.backend:
+            # An explicitly supplied engine defines the session backend —
+            # keep the config coherent so run() never mistakes the
+            # constructor-level choice for a per-run override.
+            self.config = self.config.replace(backend=engine.name)
+        self.engine = engine or make_engine(self.config.backend)
         self.abstraction = _make(abstraction, self.config)
+        self.abstraction.bind_engine(self.engine)
 
     def run(self, tables: Sequence[Table], demo: Demonstration,
             stop_predicate: Callable[[Query], bool] | None = None,
             config: SynthesisConfig | None = None) -> SynthesisResult:
         env = Env(tuple(tables))
-        result = enumerate_queries(env, demo, config or self.config,
-                                   self.abstraction, stop_predicate)
+        cfg = config or self.config
+        engine = self.engine
+        if cfg.backend != engine.name:
+            # Honor a per-run backend override: this run evaluates on a
+            # fresh engine of the requested kind (session caches stay with
+            # the synthesizer's own engine).
+            engine = make_engine(cfg.backend)
+            self.abstraction.bind_engine(engine)
+        try:
+            result = enumerate_queries(env, demo, cfg, self.abstraction,
+                                       stop_predicate, engine=engine)
+        finally:
+            if engine is not self.engine:
+                self.abstraction.bind_engine(self.engine)
         result.queries = rank_queries(result.queries)
         return result
 
     def reset(self) -> None:
-        """Clear all evaluation caches (between independent experiment runs)."""
+        """Clear this session's evaluation caches (between experiment runs).
+
+        Engine-scoped: other live synthesizers keep their state untouched.
+        """
+        self.engine.reset()
         self.abstraction.reset()
-        concrete.clear_cache()
-        tracking.clear_cache()
 
 
 def synthesize(tables: Sequence[Table], demo: Demonstration,
@@ -74,6 +103,7 @@ def synthesize(tables: Sequence[Table], demo: Demonstration,
         :class:`~repro.abstraction.base.Abstraction`.
     config:
         Search-space and budget knobs; see :class:`SynthesisConfig`.
+        ``config.backend`` selects the evaluation engine.
     stop_predicate:
         Optional: stop as soon as a consistent query satisfies it.
 

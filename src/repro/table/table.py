@@ -18,7 +18,7 @@ from repro.table.schema import Schema, infer_type
 from repro.table.values import Value, canonical, row_eq, value_eq
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=True)
 class Table:
     """An immutable ordered bag of rows with a schema.
 
@@ -36,6 +36,23 @@ class Table:
             if len(row) != arity:
                 raise TableError(
                     f"table {self.name!r}: row {i} has {len(row)} cells, expected {arity}")
+
+    def __hash__(self) -> int:
+        # Tables key evaluation caches through Env, and the dataclass hash
+        # walks every cell on every lookup; compute it once.  (Safe: all
+        # fields are immutable, and equal tables hash the same fields.)
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.name, self.schema, self.rows))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        # The cached hash is process-local (str hashing is seeded); it must
+        # never travel through pickle to another interpreter.
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
 
     # ------------------------------------------------------------------ build
     @staticmethod
@@ -103,10 +120,21 @@ class Table:
         return Table.from_rows(name or self.name, columns, rows)
 
     def cross(self, other: "Table", name: str | None = None) -> "Table":
-        """Cross product; right-hand columns renamed on clash."""
+        """Cross product; right-hand columns renamed on clash.
+
+        Renaming is collision-free and deterministic: a clashing column
+        first tries ``{other.name}.{c}``, then counts up ``..._2``, ``..._3``
+        … until free — so crossing a table with itself (where the qualified
+        name already exists) still yields a valid schema.
+        """
         columns = list(self.columns)
         for c in other.columns:
-            columns.append(c if c not in columns else f"{other.name}.{c}")
+            candidate = c if c not in columns else f"{other.name}.{c}"
+            k = 2
+            while candidate in columns:
+                candidate = f"{other.name}.{c}_{k}"
+                k += 1
+            columns.append(candidate)
         rows = [left + right for left in self.rows for right in other.rows]
         return Table.from_rows(name or f"{self.name}x{other.name}", columns, rows)
 

@@ -1,0 +1,314 @@
+"""The evaluation engine layer: caches, backends, isolation."""
+
+import pytest
+
+from repro.engine import (
+    BoundedCache,
+    ColumnarEngine,
+    ColumnBlock,
+    RowEngine,
+    make_engine,
+)
+from repro.engine.columns import (
+    arithmetic_block,
+    cross_join,
+    filter_block,
+    group_block,
+    join_blocks,
+    left_join_blocks,
+    partition_block,
+    predicate_mask,
+    select_columns,
+    sort_block,
+)
+from repro.errors import HoleError
+from repro.lang import (
+    Arithmetic,
+    Env,
+    Filter,
+    Group,
+    Hole,
+    Join,
+    LeftJoin,
+    Partition,
+    Proj,
+    Sort,
+    TableRef,
+)
+from repro.lang.predicates import AndPred, ColCmp, ConstCmp, TruePred
+from repro.table.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_rows(
+        "T", ["City", "Quarter", "Amount"],
+        [["A", 1, 10], ["A", 2, 20], ["B", 1, 30], ["B", 2, 40], ["A", 1, 5]])
+
+
+@pytest.fixture
+def env(table):
+    return Env.of(table)
+
+
+@pytest.fixture
+def lookup():
+    return Table.from_rows("L", ["City", "Region"],
+                           [["A", "north"], ["B", "south"]])
+
+
+class TestBoundedCache:
+    def test_roundtrip(self):
+        c = BoundedCache(10)
+        c["a"] = 1
+        assert c["a"] == 1
+        assert c.get("missing") is None
+        assert len(c) == 1
+
+    def test_eviction_is_lru(self):
+        c = BoundedCache(2)
+        c["a"], c["b"] = 1, 2
+        _ = c["a"]          # refresh "a"
+        c["c"] = 3          # evicts "b"
+        assert "a" in c and "c" in c and "b" not in c
+
+    def test_unbounded(self):
+        c = BoundedCache(None)
+        for i in range(1000):
+            c[i] = i
+        assert len(c) == 1000
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BoundedCache(0)
+
+
+class TestMakeEngine:
+    def test_factory_names(self):
+        assert make_engine("row").name == "row"
+        assert make_engine("columnar").name == "columnar"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            make_engine("gpu")
+
+
+@pytest.mark.parametrize("engine_cls", [RowEngine, ColumnarEngine])
+class TestEngineContract:
+    def test_evaluate_matches_semantics(self, engine_cls, env):
+        from repro.semantics import evaluate
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        assert engine_cls().evaluate(q, env) == evaluate(q, env)
+
+    def test_tracking_matches_semantics(self, engine_cls, env):
+        from repro.semantics import evaluate_tracking
+        q = Partition(TableRef("T"), keys=(0,), agg_func="cumsum", agg_col=2)
+        assert engine_cls().evaluate_tracking(q, env) == evaluate_tracking(q, env)
+
+    def test_partial_query_raises(self, engine_cls, env):
+        q = Group(TableRef("T"), keys=Hole("keys"), agg_func="sum", agg_col=2)
+        with pytest.raises(HoleError):
+            engine_cls().evaluate(q, env)
+        with pytest.raises(HoleError):
+            engine_cls().evaluate_tracking(q, env)
+
+    def test_cache_hits_counted(self, engine_cls, env):
+        engine = engine_cls()
+        q = Sort(TableRef("T"), cols=(2,), ascending=False)
+        first = engine.evaluate(q, env)
+        second = engine.evaluate(q, env)
+        assert first is second
+        assert engine.stats.concrete_hits == 1
+        assert engine.stats.concrete_evals == 1
+
+    def test_reset_drops_state(self, engine_cls, env):
+        engine = engine_cls()
+        q = TableRef("T")
+        engine.evaluate(q, env)
+        engine.evaluate_tracking(q, env)
+        engine.reset()
+        assert engine.stats.concrete_evals == 0
+        engine.evaluate(q, env)
+        assert engine.stats.concrete_hits == 0
+        assert engine.stats.concrete_evals == 1
+
+    def test_engines_do_not_share_state(self, engine_cls, env):
+        a, b = engine_cls(), engine_cls()
+        q = TableRef("T")
+        a.evaluate(q, env)
+        assert b.stats.concrete_evals == 0
+        b.evaluate(q, env)
+        assert b.stats.concrete_hits == 0  # b computed, not served from a
+
+    def test_shared_prefix_computed_once(self, engine_cls, env):
+        engine = engine_cls()
+        base = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        for func in ("sum", "max", "min", "count"):
+            q = Arithmetic(Group(TableRef("T"), keys=(0,), agg_func=func,
+                                 agg_col=2), func="div", cols=(1, 1))
+            engine.evaluate(q, env)
+        # The TableRef (and the sum-Group) subtree results were reused.
+        assert engine.evaluate(base, env) is engine.evaluate(base, env)
+
+
+class TestRowColumnarEquivalence:
+    """The two backends are byte-for-byte interchangeable."""
+
+    def _queries(self):
+        t = TableRef("T")
+        return [
+            t,
+            Filter(t, ConstCmp(2, ">", 10)),
+            Filter(t, ColCmp(2, ">", 1)),
+            Proj(t, cols=(2, 0)),
+            Proj(t, cols=(0, 0)),
+            Sort(t, cols=(2,), ascending=True),
+            Sort(t, cols=(0,), ascending=False),
+            Group(t, keys=(0,), agg_func="avg", agg_col=2),
+            Group(t, keys=(0, 1), agg_func="count", agg_col=2),
+            Group(t, keys=(), agg_func="sum", agg_col=2),
+            Partition(t, keys=(0,), agg_func="cumsum", agg_col=2),
+            Partition(t, keys=(), agg_func="rank", agg_col=2),
+            Partition(t, keys=(1,), agg_func="max", agg_col=2),
+            Arithmetic(t, func="div", cols=(2, 1)),
+            Arithmetic(Group(t, keys=(0,), agg_func="sum", agg_col=2),
+                       func="percent", cols=(1, 1)),
+        ]
+
+    def test_single_table_queries(self, env):
+        row, col = RowEngine(), ColumnarEngine()
+        for q in self._queries():
+            assert row.evaluate(q, env) == col.evaluate(q, env), q
+
+    def test_join_queries(self, table, lookup):
+        env = Env.of(table, lookup)
+        t, l = TableRef("T"), TableRef("L")
+        queries = [
+            Join(t, l),                                   # cross product
+            Join(t, l, pred=ColCmp(0, "==", 3)),          # equi-join
+            Join(t, l, pred=ColCmp(0, "==", 0)),          # degenerate (left-left)
+            Join(t, l, pred=ColCmp(3, "==", 3)),          # degenerate (right-right)
+            LeftJoin(t, l, pred=ColCmp(0, "==", 3)),
+            LeftJoin(t, l, pred=ColCmp(2, "==", 3)),      # no matches: padding
+            Join(t, l, pred=AndPred((ColCmp(0, "==", 3), TruePred()))),
+        ]
+        row, col = RowEngine(), ColumnarEngine()
+        for q in queries:
+            assert row.evaluate(q, env) == col.evaluate(q, env), q
+
+    def test_empty_results_match(self, env):
+        row, col = RowEngine(), ColumnarEngine()
+        q = Group(Filter(TableRef("T"), ConstCmp(2, ">", 1_000_000)),
+                  keys=(0,), agg_func="sum", agg_col=2)
+        assert row.evaluate(q, env) == col.evaluate(q, env)
+
+
+class TestColumnBlockKernels:
+    def _block(self, table):
+        return ColumnBlock.from_table(table)
+
+    def test_roundtrip(self, table):
+        block = self._block(table)
+        assert block.n_rows == table.n_rows
+        assert block.n_cols == table.n_cols
+        assert block.row_tuples() == list(table.rows)
+
+    def test_select_shares_columns(self, table):
+        block = self._block(table)
+        picked = select_columns(block, (2, 0))
+        assert picked.columns[0] is block.columns[2]
+        assert picked.columns[1] is block.columns[0]
+
+    def test_append_only_operators_share_columns(self, table):
+        block = self._block(table)
+        part = partition_block(block, (0,), "sum", 2)
+        arith = arithmetic_block(block, "add", (2, 2))
+        for j in range(block.n_cols):
+            assert part.columns[j] is block.columns[j]
+            assert arith.columns[j] is block.columns[j]
+
+    def test_predicate_mask_matches_rowwise(self, table):
+        block = self._block(table)
+        preds = [TruePred(), ConstCmp(2, ">=", 20), ColCmp(1, "<", 2),
+                 AndPred((ConstCmp(0, "==", "A"), ConstCmp(2, ">", 5)))]
+        for pred in preds:
+            mask = predicate_mask(pred, block)
+            assert mask == [pred.evaluate(r) for r in table.rows]
+
+    def test_filter_all_pass_reuses_block(self, table):
+        block = self._block(table)
+        assert filter_block(block, TruePred()) is block
+
+    def test_cross_join_order(self):
+        left = ColumnBlock([[1, 2]], 2)
+        right = ColumnBlock([["x", "y"]], 2)
+        crossed = cross_join(left, right)
+        assert crossed.row_tuples() == [(1, "x"), (1, "y"), (2, "x"), (2, "y")]
+
+    def test_join_blocks_pred_none_is_cross(self):
+        left = ColumnBlock([[1, 2]], 2)
+        right = ColumnBlock([["x"]], 1)
+        assert join_blocks(left, right, None).row_tuples() == \
+            cross_join(left, right).row_tuples()
+
+    def test_left_join_pads_unmatched(self):
+        left = ColumnBlock([[1, 2, 3]], 3)
+        right = ColumnBlock([[2, 3], ["b", "c"]], 2)
+        out = left_join_blocks(left, right, ColCmp(0, "==", 1))
+        assert out.row_tuples() == [(1, None, None), (2, 2, "b"), (3, 3, "c")]
+
+    def test_sort_block_is_stable(self, table):
+        block = self._block(table)
+        out = sort_block(block, (0,), ascending=True)
+        # Ties on "A" keep original relative order (stable sort).
+        assert [r[2] for r in out.row_tuples()] == [10, 20, 5, 30, 40]
+
+    def test_group_block_first_occurrence_order(self, table):
+        block = self._block(table)
+        out = group_block(block, (0,), "sum", 2)
+        assert out.row_tuples() == [("A", 35), ("B", 70)]
+
+
+class TestSessionEngineContracts:
+    """Regressions from review: engine supply, override hygiene, pickling."""
+
+    def _task(self):
+        from repro.benchmarks import get_task
+        return get_task("fe01_total_sales_per_region")
+
+    def test_supplied_engine_is_used(self):
+        from repro.synthesis.synthesizer import Synthesizer
+        task = self._task()
+        engine = RowEngine()
+        s = Synthesizer("provenance", task.config.replace(max_visited=100),
+                        engine=engine)
+        s.run(task.tables, task.demonstration)
+        assert s.engine is engine
+        assert s.config.backend == "row"
+        assert engine.stats.concrete_evals + engine.stats.tracking_evals > 0
+
+    def test_backend_override_keeps_session_state(self):
+        from repro.synthesis.synthesizer import Synthesizer
+        task = self._task()
+        s = Synthesizer("provenance",
+                        task.config.replace(backend="columnar",
+                                            max_visited=100))
+        base = s.run(task.tables, task.demonstration)
+        session_analyzer = s.abstraction.analyzer
+        for _ in range(8):   # repeated overrides must not leak analyzers
+            override = s.run(task.tables, task.demonstration,
+                             config=task.config.replace(backend="row",
+                                                        max_visited=100))
+            assert override.queries == base.queries
+        assert s.engine.name == "columnar"
+        assert s.abstraction.analyzer is session_analyzer
+        assert len(s.abstraction._analyzers) <= 4
+
+    def test_cached_hashes_not_pickled(self):
+        import pickle
+        task = self._task()
+        for obj in (task.tables[0], task.env, task.ground_truth):
+            hash(obj)  # populate the per-process cache
+            clone = pickle.loads(pickle.dumps(obj))
+            assert "_hash" not in clone.__dict__
+            assert clone == obj and hash(clone) == hash(obj)

@@ -3,8 +3,6 @@ datagen determinism, abstraction cells, the space counter."""
 
 import time
 
-import pytest
-
 from repro.abstraction.cells import (
     HEAD_AGGREGATE,
     HEAD_ANY,
@@ -27,7 +25,7 @@ from repro.errors import (
     SynthesisError,
     TableError,
 )
-from repro.lang import Env, Group, TableRef
+from repro.lang import Env, TableRef
 from repro.lang.size import operator_count, query_depth
 from repro.provenance.expr import CellRef
 from repro.util.rng import stable_rng, stable_seed

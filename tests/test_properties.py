@@ -17,7 +17,6 @@ Invariants under test:
 
 from __future__ import annotations
 
-import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.abstraction import ProvenanceAbstraction, abstract_eval

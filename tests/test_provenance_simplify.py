@@ -1,7 +1,7 @@
 """Term simplification: sum/max/min flattening and group flattening (§3.1)."""
 
 from repro.provenance import cell, func, group, partial_func, simplify
-from repro.provenance.expr import FuncApp, GroupSet
+from repro.provenance.expr import FuncApp
 
 A, B, C, D = (cell("T", i, 0) for i in range(4))
 

@@ -166,4 +166,8 @@ class TestPipelines:
 
     def test_memoization_returns_consistent_results(self, env):
         q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
-        assert evaluate(q, env) is evaluate(q, env)
+        # No module-global state: independent calls compute equal tables.
+        assert evaluate(q, env) == evaluate(q, env)
+        # Memoization is cache-scoped: a shared cache returns the same object.
+        cache = {}
+        assert evaluate(q, env, cache) is evaluate(q, env, cache)

@@ -63,6 +63,56 @@ class TestSizedDfs:
         assert wl
 
 
+class TestExhaustionHardening:
+    """pop() on a drained worklist reports exhaustion, never crashes."""
+
+    @pytest.mark.parametrize("strategy", ["sized_dfs", "bfs", "dfs"])
+    def test_pop_empty_raises_index_error(self, strategy):
+        wl = _Worklist(strategy)
+        with pytest.raises(IndexError):
+            wl.pop()
+
+    @pytest.mark.parametrize("strategy", ["sized_dfs", "bfs", "dfs"])
+    def test_pop_after_drain_raises_index_error(self, strategy):
+        wl = _Worklist(strategy)
+        wl.add_lane(_q("a"), 1)
+        wl.add_lane(_q("b"), 1)
+        wl.pop()
+        wl.pop()
+        # Historically this died with ZeroDivisionError (lane-drop loop
+        # re-indexing into an emptied lane list) under sized_dfs.
+        with pytest.raises(IndexError):
+            wl.pop()
+
+    def test_last_live_lane_draining_mid_scan(self):
+        # Force the lane-drop loop to walk over several exhausted lanes and
+        # delete the final one mid-scan.
+        wl = _Worklist("sized_dfs")
+        lanes = [wl.add_lane(_q(f"s{i}"), 1) for i in range(3)]
+        for _ in lanes:
+            wl.pop()
+        assert not wl
+        # Desynchronize on purpose: stacks are empty but a stale count could
+        # send a caller back into pop(); it must fail cleanly.
+        wl._count = 1
+        with pytest.raises(IndexError):
+            wl.pop()
+        assert wl._count == 0
+        assert not wl
+
+    def test_drop_scan_continues_to_live_lane(self):
+        wl = _Worklist("sized_dfs")
+        a = wl.add_lane(_q("a"), 1)
+        b = wl.add_lane(_q("b"), 1)
+        c = wl.add_lane(_q("c"), 1)
+        # Empty lanes a and b by popping their single items; lane c stays.
+        popped = {wl.pop()[2].name for _ in range(2)}
+        assert popped <= {"a", "b", "c"}
+        # Whatever remains must still be reachable through the drop scan.
+        assert wl.pop()[2] is not None
+        assert not wl
+
+
 class TestFifoStrategies:
     def test_bfs_order(self):
         wl = _Worklist("bfs")

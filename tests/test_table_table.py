@@ -80,6 +80,27 @@ class TestOperations:
         crossed = tiny_table.cross(other)
         assert len(set(crossed.columns)) == 4
 
+    def test_cross_with_itself_is_collision_free(self, tiny_table):
+        # Self-cross: every right-hand column clashes, and the qualified
+        # "{name}.{col}" fallback would clash again on a second cross.
+        once = tiny_table.cross(tiny_table)
+        assert len(set(once.columns)) == once.n_cols == 6
+        twice = once.cross(tiny_table)
+        assert len(set(twice.columns)) == twice.n_cols == 9
+
+    def test_cross_renaming_survives_prequalified_columns(self):
+        # The left table already holds the "u.K" name the rename would pick.
+        left = Table.from_rows("l", ["K", "u.K"], [[1, 2]])
+        right = Table.from_rows("u", ["K"], [[3]])
+        crossed = left.cross(right)
+        assert len(set(crossed.columns)) == 3
+        assert crossed.rows == ((1, 2, 3),)
+
+    def test_cross_renaming_is_deterministic(self, tiny_table):
+        a = tiny_table.cross(tiny_table)
+        b = tiny_table.cross(tiny_table)
+        assert a.columns == b.columns
+
     def test_take_rows(self, tiny_table):
         t = tiny_table.take_rows([4, 0])
         assert t.rows[0][2] == 15

@@ -1,0 +1,100 @@
+"""Write a perf-trajectory snapshot (``BENCH_<date>.json``).
+
+Runs the two micro-benchmarks — engine (columnar vs row on the forum-easy
+evaluation hot path) and parallel (sharded vs serial on forum-hard
+experiment mode) — and records their timings plus environment metadata as
+one JSON document.  The nightly ``perf.yml`` workflow uploads these as
+artifacts, giving the repo a queryable performance history; ratios are
+recorded, never asserted (assertion lives in the pytest benchmarks).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_snapshot.py [--out FILE]
+        [--engine-rounds N] [--parallel-rounds N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import test_engine_speed as engine_bench  # noqa: E402
+import test_parallel_speed as parallel_bench  # noqa: E402
+from repro.benchmarks import easy_tasks  # noqa: E402
+
+
+def _git_commit() -> str | None:
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10,
+                             cwd=os.path.dirname(os.path.abspath(__file__)))
+        return out.stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        # No git, or a hung .git lock — metadata only, never fail the
+        # snapshot over it.
+        return None
+
+
+def engine_snapshot(rounds: int) -> dict:
+    tasks = [t for t in easy_tasks() if t.suite == "forum"]
+    workload = [(t.env, engine_bench._candidates(t)) for t in tasks]
+    row_s, columnar_s = engine_bench._measure(workload, rounds)
+    return {
+        "workload_queries": sum(len(qs) for _, qs in workload),
+        "rounds": rounds,
+        "row_ms": round(row_s * 1000, 2),
+        "columnar_ms": round(columnar_s * 1000, 2),
+        "speedup": round(row_s / columnar_s, 3),
+    }
+
+
+def parallel_snapshot(rounds: int) -> dict:
+    tasks = parallel_bench.bench_tasks()
+    serial_s, sharded_s = parallel_bench.measure(tasks, rounds)
+    return {
+        "tasks": [t.name for t in tasks],
+        "workers": parallel_bench.WORKERS,
+        "rounds": rounds,
+        "serial_ms": round(serial_s * 1000, 2),
+        "sharded_ms": round(sharded_s * 1000, 2),
+        "speedup": round(serial_s / sharded_s, 3),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="perf_snapshot")
+    parser.add_argument("--out", default=None,
+                        help="output path (default BENCH_<date>.json)")
+    parser.add_argument("--engine-rounds", type=int, default=3)
+    parser.add_argument("--parallel-rounds", type=int, default=2)
+    args = parser.parse_args(argv)
+
+    date = time.strftime("%Y-%m-%d", time.gmtime())
+    out_path = args.out or f"BENCH_{date}.json"
+
+    snapshot = {
+        "date": date,
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_cores": parallel_bench.cpu_cores(),
+        "engine": engine_snapshot(args.engine_rounds),
+        "parallel": parallel_snapshot(args.parallel_rounds),
+    }
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(snapshot, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {out_path}")
+    print(json.dumps(snapshot, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -16,7 +16,7 @@ strategy for the whole stack while search order and results stay identical.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 
 from repro.lang import ast
 from repro.semantics.tracking import TrackedTable
@@ -37,6 +37,32 @@ class EngineStats:
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
+
+    @property
+    def concrete_hit_rate(self) -> float:
+        """Fraction of ``evaluate()`` calls served from cache (0 when idle)."""
+        total = self.concrete_evals + self.concrete_hits
+        return self.concrete_hits / total if total else 0.0
+
+    @property
+    def tracking_hit_rate(self) -> float:
+        """Fraction of ``evaluate_tracking()`` calls served from cache."""
+        total = self.tracking_evals + self.tracking_hits
+        return self.tracking_hits / total if total else 0.0
+
+    @staticmethod
+    def merge(*parts: "EngineStats") -> "EngineStats":
+        """Sum cache counters across engines (one per parallel worker).
+
+        Every field is a counter — iterated from the dataclass fields so a
+        newly added one can never be dropped from merges.
+        """
+        merged = EngineStats()
+        for part in parts:
+            for f in fields(EngineStats):
+                setattr(merged, f.name,
+                        getattr(merged, f.name) + getattr(part, f.name))
+        return merged
 
 
 class EvalEngine:

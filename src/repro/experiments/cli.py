@@ -11,6 +11,7 @@ Usage::
 
 Options: ``--suite forum|tpcds``, ``--difficulty easy|hard``,
 ``--techniques provenance,value,type``, ``--backend row|columnar``,
+``--workers N`` (shard the search across N worker processes),
 ``--easy-timeout S``, ``--hard-timeout S``, ``--tasks name1,name2``,
 ``--csv FILE``.
 """
@@ -44,7 +45,8 @@ def _run(args):
     techniques = tuple(args.techniques.split(","))
     config = RunConfig(easy_timeout_s=args.easy_timeout,
                        hard_timeout_s=args.hard_timeout,
-                       backend=args.backend)
+                       backend=args.backend,
+                       workers=args.workers)
 
     def progress(result):
         status = "solved" if result.solved else "timeout"
@@ -65,6 +67,9 @@ def main(argv=None) -> int:
     parser.add_argument("--techniques", default="provenance,value,type")
     parser.add_argument("--backend", choices=("row", "columnar"),
                         help="evaluation engine (default: task-configured)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="shard the search across N worker processes "
+                             "(default 1 = serial; results are identical)")
     parser.add_argument("--easy-timeout", type=float,
                         default=RunConfig().easy_timeout_s)
     parser.add_argument("--hard-timeout", type=float,

@@ -102,12 +102,15 @@ def results_csv(results: Sequence[TaskResult]) -> str:
     """Raw per-run results as CSV (for external analysis)."""
     header = ("task,suite,difficulty,technique,solved,time_s,visited,pruned,"
               "concrete_checked,consistent_found,timed_out,rank,demo_cells,"
-              "backend")
+              "backend,workers,engine_concrete_evals,engine_concrete_hits,"
+              "engine_tracking_evals,engine_tracking_hits")
     rows = [header]
     for r in results:
         rows.append(
             f"{r.task},{r.suite},{r.difficulty},{r.technique},{r.solved},"
             f"{r.time_s:.3f},{r.visited},{r.pruned},{r.concrete_checked},"
             f"{r.consistent_found},{r.timed_out},"
-            f"{'' if r.rank is None else r.rank},{r.demo_cells},{r.backend}")
+            f"{'' if r.rank is None else r.rank},{r.demo_cells},{r.backend},"
+            f"{r.workers},{r.engine_concrete_evals},{r.engine_concrete_hits},"
+            f"{r.engine_tracking_evals},{r.engine_tracking_hits}")
     return "\n".join(rows) + "\n"

@@ -85,6 +85,25 @@ def visit_reduction(results: Sequence[TaskResult],
     return 100.0 * (1 - ref / other_mean)
 
 
+def cache_hit_rates(results: Sequence[TaskResult],
+                    technique: str) -> tuple[float, float]:
+    """(concrete %, tracking %) of engine evaluations served from cache.
+
+    Aggregated over raw counters — runs with more traffic weigh more, which
+    is the rate the engines actually experienced across the sweep.
+    """
+    subset = [r for r in results if r.technique == technique]
+    concrete_total = sum(r.engine_concrete_evals + r.engine_concrete_hits
+                         for r in subset)
+    tracking_total = sum(r.engine_tracking_evals + r.engine_tracking_hits
+                         for r in subset)
+    concrete = (100.0 * sum(r.engine_concrete_hits for r in subset)
+                / concrete_total) if concrete_total else float("nan")
+    tracking = (100.0 * sum(r.engine_tracking_hits for r in subset)
+                / tracking_total) if tracking_total else float("nan")
+    return concrete, tracking
+
+
 def ranking_stats(results: Sequence[TaskResult],
                   technique: str = "provenance") -> dict[str, int]:
     """Distribution of q_gt's rank among consistent queries (§5.2)."""
@@ -112,6 +131,9 @@ def observation_report(results: Sequence[TaskResult]) -> str:
     backends = sorted({r.backend for r in results if r.backend})
     if backends:
         lines.append("evaluation backend: " + ", ".join(backends))
+        workers = sorted({r.workers for r in results})
+        lines.append("search workers: "
+                     + ", ".join(str(w) for w in workers))
         lines.append("")
 
     lines.append("-- Observation 1: tasks solved (within timeout) --")
@@ -137,6 +159,10 @@ def observation_report(results: Sequence[TaskResult]) -> str:
         lines.append(f"mean visited ({difficulty}): " + ", ".join(parts))
     lines.append(f"provenance visit reduction vs baselines: "
                  f"{visit_reduction(results):.2f}%")
+    lines.append("engine cache hit rates (concrete / tracking):")
+    for tech in techniques:
+        concrete, tracking = cache_hit_rates(results, tech)
+        lines.append(f"  {tech:12s} {concrete:5.1f}% / {tracking:5.1f}%")
     lines.append("")
 
     if any(r.technique == "provenance" for r in results):

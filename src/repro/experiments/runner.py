@@ -18,8 +18,9 @@ import os
 from dataclasses import dataclass
 
 from repro.benchmarks.task import BenchmarkTask
-from repro.synthesis.equivalence import same_output
+from repro.engine.base import EngineStats
 from repro.synthesis.ranking import rank_queries
+from repro.synthesis.stop import GroundTruthStop
 from repro.synthesis.synthesizer import Synthesizer
 
 DEFAULT_EASY_TIMEOUT = float(os.environ.get("REPRO_TIMEOUT_EASY", "6"))
@@ -36,6 +37,8 @@ class RunConfig:
     hard_timeout_s: float = DEFAULT_HARD_TIMEOUT
     max_visited: int | None = None
     backend: str | None = None      # None = each task's configured backend
+    workers: int = 1                # shards searched concurrently per run
+    parallel_executor: str | None = None   # None = each task's configured one
 
     def timeout_for(self, task: BenchmarkTask) -> float:
         return (self.easy_timeout_s if task.difficulty == "easy"
@@ -60,6 +63,12 @@ class TaskResult:
     rank: int | None            # size-rank of q_gt among consistent queries
     demo_cells: int
     backend: str = ""           # evaluation backend that produced this run
+    workers: int = 1            # parallel shards the run was searched with
+    # Engine cache traffic for the run (summed over workers when sharded).
+    engine_concrete_evals: int = 0
+    engine_concrete_hits: int = 0
+    engine_tracking_evals: int = 0
+    engine_tracking_hits: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -70,19 +79,21 @@ def run_task(task: BenchmarkTask, technique: str,
     """Run one technique on one task until q_gt is found or timeout."""
     run_config = run_config or RunConfig()
     overrides: dict = dict(timeout_s=run_config.timeout_for(task),
-                           max_visited=run_config.max_visited)
+                           max_visited=run_config.max_visited,
+                           workers=run_config.workers)
     if run_config.backend is not None:
         overrides["backend"] = run_config.backend
+    if run_config.parallel_executor is not None:
+        overrides["parallel_executor"] = run_config.parallel_executor
     config = task.config.replace(**overrides)
     synthesizer = Synthesizer(technique, config)
     synthesizer.reset()  # cold caches: each measurement is independent
 
-    env = task.env
-    gt = task.ground_truth
-    engine = synthesizer.engine
+    # Declarative stop spec: the serial loop builds it against the session
+    # engine; sharded workers each rebuild it against their own.
     result = synthesizer.run(
         task.tables, task.demonstration,
-        stop_predicate=lambda q: same_output(q, gt, env, engine))
+        stop_predicate=GroundTruthStop(task.ground_truth))
 
     rank = None
     if result.target is not None:
@@ -91,6 +102,7 @@ def run_task(task: BenchmarkTask, technique: str,
                      if q == result.target), None)
 
     stats = result.stats
+    engine_stats = result.engine_stats or EngineStats()
     return TaskResult(
         task=task.name, suite=task.suite, difficulty=task.difficulty,
         technique=technique, solved=result.target is not None,
@@ -98,7 +110,11 @@ def run_task(task: BenchmarkTask, technique: str,
         concrete_checked=stats.concrete_checked,
         consistent_found=stats.consistent_found, timed_out=stats.timed_out,
         rank=rank, demo_cells=task.demonstration.size,
-        backend=synthesizer.engine.name)
+        backend=synthesizer.engine.name, workers=result.workers,
+        engine_concrete_evals=engine_stats.concrete_evals,
+        engine_concrete_hits=engine_stats.concrete_hits,
+        engine_tracking_evals=engine_stats.tracking_evals,
+        engine_tracking_hits=engine_stats.tracking_hits)
 
 
 def run_suite(tasks, techniques=TECHNIQUES,

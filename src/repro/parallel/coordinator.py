@@ -1,0 +1,43 @@
+"""The sharded-search entry point: plan → workers → deterministic merge."""
+
+from __future__ import annotations
+
+from repro.engine.base import EngineStats
+from repro.lang import ast
+from repro.parallel.executor import run_shards
+from repro.parallel.merge import replay_merge
+from repro.parallel.planner import ShardPlanner
+from repro.provenance.demo import Demonstration
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.enumerator import SearchStats, SynthesisResult
+from repro.synthesis.skeletons import construct_skeletons
+from repro.synthesis.stop import StopSpec
+from repro.util.timer import Stopwatch
+
+
+def parallel_enumerate(env: ast.Env, demo: Demonstration,
+                       config: SynthesisConfig, abstraction_spec: str,
+                       stop_spec: StopSpec | None = None,
+                       ) -> SynthesisResult:
+    """Run Algorithm 1 sharded across ``config.workers`` workers.
+
+    Queries are returned in serial discovery order (the caller ranks them,
+    exactly as after ``enumerate_queries``); ``result.stats`` carries the
+    serial-equivalent counters, ``result.raw_stats`` the total work the
+    shards actually performed, and ``result.engine_stats`` the summed
+    cache traffic of every worker's engine.
+    """
+    if config.strategy != "sized_dfs":
+        raise ValueError("sharded search requires strategy='sized_dfs'")
+    watch = Stopwatch()
+    skeletons = construct_skeletons(env, config)
+    plan = ShardPlanner(config.workers, config.shard_strategy).plan(skeletons)
+    outcomes = run_shards(plan, skeletons, env, demo, config,
+                          abstraction_spec, stop_spec,
+                          executor=config.parallel_executor)
+    result = replay_merge(outcomes, config, has_stop=stop_spec is not None)
+    result.workers = config.workers
+    result.raw_stats = SearchStats.merge(*(o.stats for o in outcomes))
+    result.engine_stats = EngineStats.merge(*(o.engine_stats for o in outcomes))
+    result.stats.elapsed_s = watch.elapsed()
+    return result

@@ -1,0 +1,184 @@
+"""Run shard workers: one OS process per shard, threads, or in-process.
+
+The three vehicles share the worker function and the cancel-token protocol,
+so they are semantically interchangeable — ``serial`` is the reference the
+other two must match (and the differential tests hold them to it):
+
+* ``process`` — true parallelism; workers are forked where available
+  (payloads inherited, no pickling) and spawned otherwise (payloads must
+  pickle — use :class:`~repro.synthesis.stop.StopSpec` rather than bare
+  closures).  Results always travel back pickled through a queue.
+* ``thread`` — GIL-bound (no wall-clock win for this CPU-bound loop) but
+  cheap and portable; the fallback for platforms without ``fork`` and the
+  workhorse for the determinism test suite.
+* ``serial`` — shards run one after another in the calling thread.
+
+Cancellation is a single shared *round limit*: when a worker's stop
+predicate fires in round ``r`` it proposes ``r``; the limit is the minimum
+of all proposals and every worker stops once it has completed that round —
+the earliest point at which the merge provably needs no further events.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import time
+import traceback
+
+from repro.parallel.planner import ShardPlan
+from repro.parallel.worker import ShardOutcome, run_shard
+from repro.util.timer import Deadline
+
+#: "No limit yet" sentinel — far beyond any reachable round count.
+NO_LIMIT = 2 ** 62
+
+
+class CancelToken:
+    """In-process shared round limit (serial and thread executors)."""
+
+    def __init__(self) -> None:
+        self._limit = NO_LIMIT
+        self._lock = threading.Lock()
+
+    def limit(self) -> int:
+        return self._limit
+
+    def propose(self, round_no: int) -> None:
+        with self._lock:
+            if round_no < self._limit:
+                self._limit = round_no
+
+
+class ProcessCancelToken:
+    """Cross-process shared round limit backed by a synchronized Value."""
+
+    def __init__(self, ctx) -> None:
+        self._value = ctx.Value("q", NO_LIMIT)
+
+    def limit(self) -> int:
+        # Locked read: a torn 64-bit load (32-bit platforms) racing a
+        # propose() could mix NO_LIMIT's and a proposal's halves into a
+        # bogus tiny limit and stop a worker before it covered anything.
+        with self._value.get_lock():
+            return self._value.value
+
+    def propose(self, round_no: int) -> None:
+        with self._value.get_lock():
+            if round_no < self._value.value:
+                self._value.value = round_no
+
+
+def _guarded_run_shard(shard_id, lanes, env, demo, config, abstraction_spec,
+                       stop_spec, cancel, deadline) -> ShardOutcome:
+    """run_shard that reports failures instead of raising (or vanishing)."""
+    try:
+        return run_shard(shard_id, lanes, env, demo, config,
+                         abstraction_spec, stop_spec, cancel, deadline)
+    except Exception:
+        return ShardOutcome(shard_id, error=traceback.format_exc())
+
+
+def _process_main(shard_id, lanes, env, demo, config, abstraction_spec,
+                  stop_spec, cancel, deadline, queue) -> None:
+    queue.put(_guarded_run_shard(shard_id, lanes, env, demo, config,
+                                 abstraction_spec, stop_spec, cancel,
+                                 deadline))
+
+
+def run_shards(plan: ShardPlan, skeletons, env, demo, config,
+               abstraction_spec: str, stop_spec,
+               executor: str | None = None) -> list[ShardOutcome]:
+    """Execute every shard in ``plan``; outcomes ordered by shard id.
+
+    ``skeletons`` is the canonical ``construct_skeletons`` list the plan
+    indexes into; each shard receives its own ``(lane_id, skeleton)``
+    payload so workers never recompute the enumeration.
+    """
+    executor = executor or config.parallel_executor
+    payloads = [tuple((lane, skeletons[lane]) for lane in shard)
+                for shard in plan.shards]
+    # One wall-clock budget for the whole run: the serial executor's shards
+    # run one after another and must share it, not each start afresh.
+    # time.monotonic is system-wide on the platforms with fork, so the
+    # absolute expiry crosses process boundaries intact.
+    deadline = Deadline(config.timeout_s)
+    if executor == "process":
+        outcomes = _run_processes(payloads, env, demo, config,
+                                  abstraction_spec, stop_spec, deadline)
+    elif executor == "thread":
+        outcomes = _run_threads(payloads, env, demo, config,
+                                abstraction_spec, stop_spec, deadline)
+    elif executor == "serial":
+        cancel = CancelToken()
+        outcomes = [_guarded_run_shard(i, lanes, env, demo, config,
+                                       abstraction_spec, stop_spec, cancel,
+                                       deadline)
+                    for i, lanes in enumerate(payloads)]
+    else:
+        raise ValueError(f"unknown parallel_executor {executor!r}")
+
+    outcomes.sort(key=lambda o: o.shard_id)
+    errors = [o.error for o in outcomes if o.error]
+    if errors:
+        raise RuntimeError(
+            f"{len(errors)} shard worker(s) failed; first failure:\n"
+            + errors[0])
+    return outcomes
+
+
+def _run_threads(payloads, env, demo, config, abstraction_spec,
+                 stop_spec, deadline) -> list[ShardOutcome]:
+    cancel = CancelToken()
+    outcomes: list[ShardOutcome | None] = [None] * len(payloads)
+
+    def job(i: int, lanes) -> None:
+        outcomes[i] = _guarded_run_shard(i, lanes, env, demo, config,
+                                         abstraction_spec, stop_spec, cancel,
+                                         deadline)
+
+    threads = [threading.Thread(target=job, args=(i, lanes), daemon=True)
+               for i, lanes in enumerate(payloads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return [o for o in outcomes if o is not None]
+
+
+def _run_processes(payloads, env, demo, config, abstraction_spec,
+                   stop_spec, deadline) -> list[ShardOutcome]:
+    # fork inherits the payload (tables, demo, closures) for free; spawn is
+    # the portable fallback and needs every argument picklable.
+    methods = multiprocessing.get_all_start_methods()
+    ctx = multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+    cancel = ProcessCancelToken(ctx)
+    queue = ctx.SimpleQueue()
+    procs = [ctx.Process(target=_process_main,
+                         args=(i, lanes, env, demo, config, abstraction_spec,
+                               stop_spec, cancel, deadline, queue),
+                         daemon=True)
+             for i, lanes in enumerate(payloads)]
+    for proc in procs:
+        proc.start()
+    # Drain results before joining: a worker blocked on a full queue never
+    # exits, so join-first would deadlock on large traces.  A worker that
+    # dies without reporting (OOM kill, segfault, spawn unpickling failure)
+    # never enqueues anything — _guarded_run_shard cannot catch those — so
+    # poll liveness instead of blocking forever on the queue.
+    outcomes: list[ShardOutcome] = []
+    while len(outcomes) < len(procs):
+        if not queue.empty():
+            outcomes.append(queue.get())
+            continue
+        if all(not p.is_alive() for p in procs) and queue.empty():
+            missing = len(procs) - len(outcomes)
+            codes = sorted({p.exitcode for p in procs
+                            if p.exitcode not in (0, None)})
+            raise RuntimeError(
+                f"{missing} shard worker(s) died without reporting a "
+                f"result (exit codes: {codes or 'unknown'})")
+        time.sleep(0.005)
+    for proc in procs:
+        proc.join()
+    return outcomes

@@ -1,0 +1,110 @@
+"""Deterministic merge: replay shard traces into the serial search.
+
+Why this works.  The serial ``sized_dfs`` worklist pops round-robin over
+lanes in canonical (size) order, and a lane's own pop sequence is fully
+determined by the lane alone — expansions push back onto the same lane, so
+interleaving with other lanes never changes what the lane yields.  Every
+lane is therefore popped exactly once per *round* until it drains, and the
+serial visit order is precisely::
+
+    round 1: lane 0, lane 1, ... (every live lane, ascending)
+    round 2: lane 0, lane 1, ...           (drained lanes drop out)
+    ...
+
+Each worker records its lanes' per-pop outcomes (events) in exactly that
+lane-local order.  Replaying rounds over the union of all traces — lanes
+ascending within a round, applying the serial loop's stopping rules
+(``top_n`` / stop-predicate hit / visited budget) event by event — thus
+reconstructs the serial run's visit sequence, consistent-query discovery
+order and counters *byte-for-byte*, no matter how many shards produced the
+traces or in which order they finished.
+
+Workers overshoot the serial stopping point (each shard keeps searching
+until its own stopping rule fires); the replay simply never consumes the
+excess.  The one non-deterministic escape is a wall-clock expiry inside a
+worker: its truncated lanes may not cover the serial prefix, in which case
+the replay reports a timeout — exactly what the serial run does when the
+clock, rather than the search, decides the outcome.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.enumerator import SynthesisResult
+from repro.parallel.worker import (
+    EV_EXPANDED,
+    EV_INCONSISTENT,
+    EV_PRUNED,
+    LaneTrace,
+    ShardOutcome,
+)
+
+
+def replay_merge(outcomes: Sequence[ShardOutcome], config: SynthesisConfig,
+                 has_stop: bool) -> SynthesisResult:
+    """Fold shard outcomes into the serial-equivalent SynthesisResult."""
+    result = SynthesisResult()
+    stats = result.stats
+    stats.skeletons = sum(o.stats.skeletons for o in outcomes)
+    stats.max_skeleton_size = max(
+        (o.stats.max_skeleton_size for o in outcomes), default=0)
+    # Shape-prechecked skeletons are counted before the serial loop starts,
+    # so all shards' precheck rejections land up front here too.
+    shape_pruned = sum(o.shape_pruned for o in outcomes)
+    stats.visited += shape_pruned
+    stats.pruned += shape_pruned
+
+    lanes: list[LaneTrace] = sorted(
+        (t for o in outcomes for t in o.traces), key=lambda t: t.lane)
+    cursor = [0] * len(lanes)
+    live = list(range(len(lanes)))
+
+    stop = False
+    while live and not stop:
+        survivors: list[int] = []
+        for idx in live:
+            trace = lanes[idx]
+            if cursor[idx] >= len(trace.events):
+                if trace.exhausted:
+                    continue        # lane drained — drop, like the worklist
+                # Truncated trace: a worker's wall clock expired before it
+                # covered the serial prefix.  Serial would still be running;
+                # all we can faithfully report is a timeout here.
+                stats.timed_out = True
+                stop = True
+                break
+            if config.max_visited is not None \
+                    and stats.visited >= config.max_visited:
+                stats.timed_out = True
+                stop = True
+                break
+            event = trace.events[cursor[idx]]
+            cursor[idx] += 1
+            stats.visited += 1
+            if isinstance(event, tuple):            # consistent query
+                query, hit = event
+                stats.concrete_checked += 1
+                stats.consistent_found += 1
+                result.queries.append(query)
+                if has_stop and hit:
+                    result.target = query
+                    result.target_rank = len(result.queries)
+                    stop = True
+                    break
+                if not has_stop and stats.consistent_found >= config.top_n:
+                    stop = True
+                    break
+            elif event == EV_PRUNED:
+                stats.pruned += 1
+            elif event == EV_EXPANDED:
+                stats.expanded += 1
+            elif event == EV_INCONSISTENT:
+                stats.concrete_checked += 1
+            else:                                   # pragma: no cover
+                raise ValueError(f"unknown trace event {event!r}")
+            survivors.append(idx)
+        if not stop:
+            live = survivors
+    return result

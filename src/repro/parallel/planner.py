@@ -1,0 +1,110 @@
+"""Partitioning the skeleton worklist into worker shards.
+
+A shard is a subset of skeleton *lanes* (identified by their index in the
+canonical ``construct_skeletons`` order).  The planner only decides
+*membership* — every shard executes its lanes in ascending canonical order,
+which is what makes the per-lane event traces replayable into the exact
+serial visit order (see :mod:`repro.parallel.merge`).
+
+Lane cost is unknowable exactly (it is the size of the lane's hole-
+instantiation subspace, which the search itself prunes), so the planner
+balances an *estimate*: holes multiply a lane's subspace, operators add
+evaluation weight.  The default ``cost_rr`` strategy deals lanes to shards
+in descending-cost round-robin — the classic longest-processing-time
+heuristic's cheap cousin — and is insensitive to the input order of the
+skeleton list (assignment is keyed on the skeleton itself, not its
+position).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.lang.holes import holes_of
+from repro.lang.size import operator_count
+
+#: Branching weight of one hole in the cost estimate.  The exact value only
+#: shapes load balance, never results — any positive constant is correct.
+_HOLE_WEIGHT = 4
+
+
+def estimated_lane_cost(skeleton: ast.Query) -> int:
+    """A monotone proxy for the size of a skeleton's instantiation lane."""
+    return operator_count(skeleton) + _HOLE_WEIGHT * len(holes_of(skeleton))
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The planner's output: per-shard lane index tuples (ascending)."""
+
+    shards: tuple[tuple[int, ...], ...]
+    costs: tuple[int, ...]          # estimated total cost per shard
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def n_lanes(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def membership(self, skeletons: Sequence[ast.Query]) -> dict[str, int]:
+        """skeleton repr -> shard id (for plan-equality across orderings)."""
+        return {repr(skeletons[lane]): shard_id
+                for shard_id, lanes in enumerate(self.shards)
+                for lane in lanes}
+
+
+class ShardPlanner:
+    """Deterministically partition skeletons into at most ``workers`` shards.
+
+    Strategies (``SynthesisConfig.shard_strategy``):
+
+    * ``cost_rr`` (default) — sort lanes by (estimated cost descending,
+      canonical skeleton key) and deal them round-robin.  Balanced and
+      stable under permutation of the input list.
+    * ``round_robin`` — deal lanes in enumeration order.
+    * ``chunk`` — contiguous slices of the enumeration order.
+
+    Every strategy yields the same merged search result — the replay merge
+    is plan-agnostic — so the knob trades only load balance.
+    """
+
+    def __init__(self, workers: int, strategy: str = "cost_rr") -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if strategy not in ("cost_rr", "round_robin", "chunk"):
+            raise ValueError(f"unknown shard_strategy {strategy!r}")
+        self.workers = workers
+        self.strategy = strategy
+
+    def plan(self, skeletons: Sequence[ast.Query]) -> ShardPlan:
+        n = len(skeletons)
+        if n == 0:
+            return ShardPlan((), ())
+        n_shards = min(self.workers, n)
+        costs = [estimated_lane_cost(sk) for sk in skeletons]
+        buckets: list[list[int]] = [[] for _ in range(n_shards)]
+
+        if self.strategy == "chunk":
+            base, extra = divmod(n, n_shards)
+            start = 0
+            for shard_id in range(n_shards):
+                width = base + (1 if shard_id < extra else 0)
+                buckets[shard_id] = list(range(start, start + width))
+                start += width
+        elif self.strategy == "round_robin":
+            for lane in range(n):
+                buckets[lane % n_shards].append(lane)
+        else:  # cost_rr
+            order = sorted(range(n),
+                           key=lambda i: (-costs[i], repr(skeletons[i])))
+            for deal, lane in enumerate(order):
+                buckets[deal % n_shards].append(lane)
+
+        shards = tuple(tuple(sorted(bucket)) for bucket in buckets)
+        shard_costs = tuple(sum(costs[lane] for lane in bucket)
+                            for bucket in shards)
+        return ShardPlan(shards, shard_costs)

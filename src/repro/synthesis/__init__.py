@@ -11,10 +11,17 @@ from repro.synthesis.enumerator import SearchStats, SynthesisResult, enumerate_q
 from repro.synthesis.equivalence import same_output
 from repro.synthesis.ranking import rank_queries
 from repro.synthesis.skeletons import construct_skeletons
-from repro.synthesis.synthesizer import Synthesizer, synthesize
+from repro.synthesis.stop import (
+    CallableStop,
+    GroundTruthStop,
+    StopSpec,
+    as_stop_spec,
+)
+from repro.synthesis.synthesizer import Synthesizer, build_abstraction, synthesize
 
 __all__ = [
-    "SynthesisConfig", "Synthesizer", "synthesize",
+    "SynthesisConfig", "Synthesizer", "synthesize", "build_abstraction",
     "SearchStats", "SynthesisResult", "enumerate_queries",
     "construct_skeletons", "rank_queries", "same_output",
+    "StopSpec", "GroundTruthStop", "CallableStop", "as_stop_spec",
 ]

@@ -42,6 +42,25 @@ class SynthesisConfig:
     # knob trades evaluation strategy, never search behavior.
     backend: str = "columnar"
 
+    # --- parallel search ---------------------------------------------------
+    # Number of skeleton shards searched concurrently (repro.parallel).
+    # 1 (default) runs the classic in-process loop; N > 1 partitions the
+    # skeleton worklist into up to N shards, each searched by a worker that
+    # owns its own EvalEngine, and merges the results deterministically —
+    # ranked output and search counters are byte-identical to workers=1.
+    workers: int = 1
+    # How the ShardPlanner partitions skeletons across workers:
+    #   "cost_rr"     — size-ordered round-robin by estimated lane cost
+    #                   (default; balances load, permutation-insensitive)
+    #   "round_robin" — deal skeletons to shards in enumeration order
+    #   "chunk"       — contiguous slices of the skeleton list
+    shard_strategy: str = "cost_rr"
+    # Worker execution vehicle: "process" (default; one OS process per
+    # shard, true parallelism), "thread" (GIL-bound, useful for tests and
+    # platforms without fork), or "serial" (run shards one after another
+    # in-process — the reference semantics the other two must match).
+    parallel_executor: str = "process"
+
     # Worklist strategy.  "sized_dfs" (default) explores skeleton sizes
     # smallest-first and completes hole instantiation depth-first within a
     # size class — small consistent queries are still found first (the
@@ -86,6 +105,18 @@ class SynthesisConfig:
             raise ValueError(f"unknown strategy {self.strategy!r}")
         if self.backend not in ("row", "columnar"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.shard_strategy not in ("cost_rr", "round_robin", "chunk"):
+            raise ValueError(f"unknown shard_strategy {self.shard_strategy!r}")
+        if self.parallel_executor not in ("process", "thread", "serial"):
+            raise ValueError(
+                f"unknown parallel_executor {self.parallel_executor!r}")
+        if self.workers > 1 and self.strategy != "sized_dfs":
+            # Sharded search relies on the lane-per-cycle structure of the
+            # sized_dfs worklist; the FIFO strategies share one global queue
+            # and cannot be partitioned without changing the search order.
+            raise ValueError("workers > 1 requires strategy='sized_dfs'")
 
     def replace(self, **kwargs) -> "SynthesisConfig":
         from dataclasses import replace as dc_replace

@@ -15,11 +15,11 @@ found").
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from collections.abc import Callable
 
 from repro.abstraction.base import Abstraction
-from repro.engine.base import EvalEngine, make_engine
+from repro.engine.base import EngineStats, EvalEngine, make_engine
 from repro.lang import ast
 from repro.lang.holes import fill, first_hole, is_concrete
 from repro.lang.size import operator_count
@@ -129,9 +129,43 @@ class SearchStats:
     elapsed_s: float = 0.0
     timed_out: bool = False
     skeletons: int = 0
+    max_skeleton_size: int = 0   # largest skeleton admitted to the worklist
+
+    #: Fields :meth:`merge` combines with max / or instead of summing.
+    #: Every other field is a counter — derived from the dataclass fields
+    #: below, so a newly added counter can never be dropped from merges.
+    MERGE_MAX = ("elapsed_s", "max_skeleton_size")
+    MERGE_OR = ("timed_out",)
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
+
+    @staticmethod
+    def merge(*parts: "SearchStats") -> "SearchStats":
+        """Combine shard-local stats: counters sum, depths take the max.
+
+        ``elapsed_s`` is the max because shards run concurrently;
+        ``timed_out`` is true when any shard expired.  ``merge()`` of no
+        parts is the zero element.
+        """
+        merged = SearchStats()
+        for part in parts:
+            for counter in SearchStats.COUNTERS:
+                setattr(merged, counter,
+                        getattr(merged, counter) + getattr(part, counter))
+            for name in SearchStats.MERGE_MAX:
+                setattr(merged, name,
+                        max(getattr(merged, name), getattr(part, name)))
+            for name in SearchStats.MERGE_OR:
+                setattr(merged, name,
+                        getattr(merged, name) or getattr(part, name))
+        return merged
+
+
+#: Counters = every stats field without explicit max/or merge semantics.
+SearchStats.COUNTERS = tuple(
+    f.name for f in fields(SearchStats)
+    if f.name not in SearchStats.MERGE_MAX + SearchStats.MERGE_OR)
 
 
 @dataclass
@@ -142,10 +176,75 @@ class SynthesisResult:
     stats: SearchStats = field(default_factory=SearchStats)
     target: ast.Query | None = None      # query that fired stop_predicate
     target_rank: int | None = None       # 1-based discovery rank of target
+    workers: int = 1                     # shards searched concurrently
+    engine_stats: object | None = None   # EngineStats (merged across workers)
+    # Total work actually performed across shards (parallel runs only):
+    # ``SearchStats.merge`` of the per-shard raw stats.  Shards overshoot
+    # the serial stopping point, so this is >= ``stats``; the difference is
+    # the price paid for the wall-clock win.
+    raw_stats: SearchStats | None = None
 
     @property
     def solved(self) -> bool:
         return self.target is not None
+
+
+# Per-pop outcomes of :func:`process_pop` — shared by the serial loop below
+# and the shard workers (:mod:`repro.parallel.worker`), so Algorithm 1's pop
+# semantics (classification order, counter increments, the ≺ check's
+# exception set, hole-domain order) live in exactly one place and the
+# sharded search cannot drift from the serial one.
+POP_PRUNED = "pruned"              # rejected by the abstraction
+POP_EXPANDED = "expanded"          # partial; holes branched
+POP_INCONSISTENT = "inconsistent"  # concrete; failed the ≺ check
+POP_CONSISTENT = "consistent"      # concrete; a solution candidate
+
+
+def admit_skeleton(skeleton: ast.Query, demo: Demonstration,
+                   config: SynthesisConfig, stats: SearchStats) -> int | None:
+    """Shape-precheck one skeleton before it seeds a lane.
+
+    Returns the skeleton's operator count when admitted (updating the
+    max-depth stat), or ``None`` when the precheck rejects it (counted as a
+    visited-and-pruned query, exactly as the serial loop always has).
+    Shared with the shard workers so seeding semantics cannot drift.
+    """
+    if config.shape_precheck and not shape_feasible(skeleton, demo):
+        stats.visited += 1
+        stats.pruned += 1
+        return None
+    size = operator_count(skeleton)
+    if size > stats.max_skeleton_size:
+        stats.max_skeleton_size = size
+    return size
+
+
+def process_pop(query: ast.Query, env: ast.Env, demo: Demonstration,
+                config: SynthesisConfig, abstraction: Abstraction,
+                engine: EvalEngine, stats: SearchStats):
+    """Process one popped query: classify it and update the counters.
+
+    Returns ``(outcome, expansions)``; ``expansions`` holds the hole
+    instantiations in canonical domain order when the query was expanded
+    (the caller owns push order — LIFO lanes push them reversed), and is
+    empty otherwise.
+    """
+    stats.visited += 1
+    if is_concrete(query):
+        stats.concrete_checked += 1
+        if _consistent(query, env, demo, engine):
+            stats.consistent_found += 1
+            return POP_CONSISTENT, ()
+        return POP_INCONSISTENT, ()
+    if not abstraction.feasible(query, env, demo):
+        stats.pruned += 1
+        return POP_PRUNED, ()
+    position = first_hole(query)
+    assert position is not None  # query is partial here
+    stats.expanded += 1
+    domain = hole_domain(query, position, env, config, demo, engine)
+    return POP_EXPANDED, tuple(fill(query, position, value)
+                               for value in domain)
 
 
 def enumerate_queries(
@@ -179,11 +278,10 @@ def enumerate_queries(
     skeletons = construct_skeletons(env, config)
     stats.skeletons = len(skeletons)
     for skeleton in skeletons:
-        if config.shape_precheck and not shape_feasible(skeleton, demo):
-            stats.visited += 1
-            stats.pruned += 1
+        size = admit_skeleton(skeleton, demo, config, stats)
+        if size is None:
             continue
-        worklist.add_lane(skeleton, operator_count(skeleton))
+        worklist.add_lane(skeleton, size)
 
     while worklist:
         if deadline.expired():
@@ -193,39 +291,31 @@ def enumerate_queries(
             stats.timed_out = True
             break
         size, lane_id, query = worklist.pop()
-        stats.visited += 1
-
-        if is_concrete(query):
-            stats.concrete_checked += 1
-            if _consistent(query, env, demo, engine):
-                stats.consistent_found += 1
-                result.queries.append(query)
-                if stop_predicate is not None and stop_predicate(query):
-                    result.target = query
-                    result.target_rank = len(result.queries)
-                    break
-                if stop_predicate is None and \
-                        stats.consistent_found >= config.top_n:
-                    break
-            continue
-
-        if not abstraction.feasible(query, env, demo):
-            stats.pruned += 1
-            continue
-
-        position = first_hole(query)
-        assert position is not None  # query is partial here
-        stats.expanded += 1
-        domain = hole_domain(query, position, env, config, demo, engine)
-        # Reversed for LIFO lanes: candidates are explored in domain order.
-        if config.strategy == "bfs":
-            for value in domain:
-                worklist.push(fill(query, position, value), size, lane_id)
-        else:
-            for value in reversed(domain):
-                worklist.push(fill(query, position, value), size, lane_id)
+        outcome, expansions = process_pop(query, env, demo, config,
+                                          abstraction, engine, stats)
+        if outcome is POP_CONSISTENT:
+            result.queries.append(query)
+            if stop_predicate is not None and stop_predicate(query):
+                result.target = query
+                result.target_rank = len(result.queries)
+                break
+            if stop_predicate is None and \
+                    stats.consistent_found >= config.top_n:
+                break
+        elif outcome is POP_EXPANDED:
+            # Reversed for LIFO lanes: candidates explored in domain order.
+            if config.strategy == "bfs":
+                for expansion in expansions:
+                    worklist.push(expansion, size, lane_id)
+            else:
+                for expansion in reversed(expansions):
+                    worklist.push(expansion, size, lane_id)
 
     stats.elapsed_s = watch.elapsed()
+    # Snapshot, not the live object: the engine keeps counting across later
+    # runs, and a result's recorded cache traffic must not drift with it
+    # (the sharded path likewise returns a merged snapshot).
+    result.engine_stats = EngineStats(**engine.stats.as_dict())
     return result
 
 

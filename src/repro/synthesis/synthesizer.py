@@ -11,6 +11,12 @@ byte of evaluation state is scoped to this instance, so independent
 synthesizers can run interleaved (or on separate threads) without sharing
 or clobbering caches.  :meth:`Synthesizer.reset` is correspondingly
 engine-scoped: it clears *this* session's caches and nobody else's.
+
+With ``config.workers > 1``, :meth:`Synthesizer.run` hands the search to
+:mod:`repro.parallel`: the skeleton worklist is partitioned into shards,
+each searched by a worker owning its own engine, and the shard outputs are
+merged deterministically — ranked queries and search counters are
+byte-identical to the serial run regardless of worker count.
 """
 
 from __future__ import annotations
@@ -24,10 +30,18 @@ from repro.provenance.demo import Demonstration
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.enumerator import SynthesisResult, enumerate_queries
 from repro.synthesis.ranking import rank_queries
+from repro.synthesis.stop import StopSpec, as_stop_spec
 from repro.table.table import Table
 
 
-def _make(name_or_abs: str | Abstraction, config: SynthesisConfig) -> Abstraction:
+def build_abstraction(name_or_abs: str | Abstraction,
+                      config: SynthesisConfig) -> Abstraction:
+    """Materialize an abstraction from its name (or pass one through).
+
+    Shared by the serial synthesizer and the parallel workers, which each
+    rebuild the technique from its name so every worker owns an independent
+    instance bound to its own engine.
+    """
     if isinstance(name_or_abs, Abstraction):
         return name_or_abs
     if name_or_abs == "provenance":
@@ -51,14 +65,29 @@ class Synthesizer:
             # constructor-level choice for a per-run override.
             self.config = self.config.replace(backend=engine.name)
         self.engine = engine or make_engine(self.config.backend)
-        self.abstraction = _make(abstraction, self.config)
+        self._engine_supplied = engine is not None
+        #: The technique name when known — sharded workers rebuild the
+        #: abstraction from it (a bound Abstraction object cannot cross a
+        #: process boundary).  None when a pre-built object was supplied.
+        self.abstraction_spec = abstraction if isinstance(abstraction, str) \
+            else None
+        self.abstraction = build_abstraction(abstraction, self.config)
         self.abstraction.bind_engine(self.engine)
 
     def run(self, tables: Sequence[Table], demo: Demonstration,
-            stop_predicate: Callable[[Query], bool] | None = None,
+            stop_predicate: Callable[[Query], bool] | StopSpec | None = None,
             config: SynthesisConfig | None = None) -> SynthesisResult:
         env = Env(tuple(tables))
         cfg = config or self.config
+        if cfg.workers > 1:
+            result = self._run_sharded(env, demo, stop_predicate, cfg)
+        else:
+            result = self._run_serial(env, demo, stop_predicate, cfg)
+        result.queries = rank_queries(result.queries)
+        return result
+
+    def _run_serial(self, env: Env, demo: Demonstration,
+                    stop_predicate, cfg: SynthesisConfig) -> SynthesisResult:
         engine = self.engine
         if cfg.backend != engine.name:
             # Honor a per-run backend override: this run evaluates on a
@@ -66,14 +95,30 @@ class Synthesizer:
             # the synthesizer's own engine).
             engine = make_engine(cfg.backend)
             self.abstraction.bind_engine(engine)
+        if isinstance(stop_predicate, StopSpec):
+            stop_predicate = stop_predicate.build(engine, env)
         try:
-            result = enumerate_queries(env, demo, cfg, self.abstraction,
-                                       stop_predicate, engine=engine)
+            return enumerate_queries(env, demo, cfg, self.abstraction,
+                                     stop_predicate, engine=engine)
         finally:
             if engine is not self.engine:
                 self.abstraction.bind_engine(self.engine)
-        result.queries = rank_queries(result.queries)
-        return result
+
+    def _run_sharded(self, env: Env, demo: Demonstration,
+                     stop_predicate, cfg: SynthesisConfig) -> SynthesisResult:
+        from repro.parallel import parallel_enumerate
+        if self.abstraction_spec is None:
+            raise ValueError(
+                "workers > 1 requires the abstraction to be given by name "
+                "(workers rebuild it per shard); pass e.g. 'provenance' "
+                "instead of a pre-built Abstraction object")
+        if self._engine_supplied:
+            raise ValueError(
+                "workers > 1 cannot use an explicitly supplied engine — "
+                "each worker builds its own from config.backend; drop the "
+                "engine argument (or set backend) instead")
+        return parallel_enumerate(env, demo, cfg, self.abstraction_spec,
+                                  as_stop_spec(stop_predicate))
 
     def reset(self) -> None:
         """Clear this session's evaluation caches (between experiment runs).
@@ -87,7 +132,7 @@ class Synthesizer:
 def synthesize(tables: Sequence[Table], demo: Demonstration,
                abstraction: str | Abstraction = "provenance",
                config: SynthesisConfig | None = None,
-               stop_predicate: Callable[[Query], bool] | None = None,
+               stop_predicate: Callable[[Query], bool] | StopSpec | None = None,
                ) -> SynthesisResult:
     """Synthesize analytical SQL queries consistent with a demonstration.
 
@@ -103,9 +148,13 @@ def synthesize(tables: Sequence[Table], demo: Demonstration,
         :class:`~repro.abstraction.base.Abstraction`.
     config:
         Search-space and budget knobs; see :class:`SynthesisConfig`.
-        ``config.backend`` selects the evaluation engine.
+        ``config.backend`` selects the evaluation engine;
+        ``config.workers`` shards the search across that many workers.
     stop_predicate:
-        Optional: stop as soon as a consistent query satisfies it.
+        Optional: stop as soon as a consistent query satisfies it.  Either
+        a plain callable or a picklable
+        :class:`~repro.synthesis.stop.StopSpec` (required form for
+        spawn-based worker processes).
 
     Returns
     -------

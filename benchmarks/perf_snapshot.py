@@ -1,16 +1,18 @@
 """Write a perf-trajectory snapshot (``BENCH_<date>.json``).
 
-Runs the two micro-benchmarks — engine (columnar vs row on the forum-easy
-evaluation hot path) and parallel (sharded vs serial on forum-hard
-experiment mode) — and records their timings plus environment metadata as
-one JSON document.  The nightly ``perf.yml`` workflow uploads these as
-artifacts, giving the repo a queryable performance history; ratios are
-recorded, never asserted (assertion lives in the pytest benchmarks).
+Runs the three micro-benchmarks — engine (columnar vs row on the
+forum-easy evaluation hot path), tracking (columnar vs row provenance
+tracking on provenance-heavy forum tasks) and parallel (sharded vs serial
+on forum-hard experiment mode) — and records their timings plus
+environment metadata as one JSON document.  The nightly ``perf.yml``
+workflow uploads these as artifacts, giving the repo a queryable
+performance history; ratios are recorded, never asserted (assertion lives
+in the pytest benchmarks).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out FILE]
-        [--engine-rounds N] [--parallel-rounds N]
+        [--engine-rounds N] [--tracking-rounds N] [--parallel-rounds N]
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import test_engine_speed as engine_bench  # noqa: E402
 import test_parallel_speed as parallel_bench  # noqa: E402
+import test_tracking_speed as tracking_bench  # noqa: E402
 from repro.benchmarks import easy_tasks  # noqa: E402
 
 
@@ -55,6 +58,19 @@ def engine_snapshot(rounds: int) -> dict:
     }
 
 
+def tracking_snapshot(rounds: int) -> dict:
+    workload = tracking_bench.tracking_workload()
+    row_s, columnar_s = tracking_bench.measure(workload, rounds)
+    return {
+        "tasks": list(tracking_bench.TRACKING_TASKS),
+        "workload_queries": sum(len(qs) for _, qs in workload),
+        "rounds": rounds,
+        "row_ms": round(row_s * 1000, 2),
+        "columnar_ms": round(columnar_s * 1000, 2),
+        "speedup": round(row_s / columnar_s, 3),
+    }
+
+
 def parallel_snapshot(rounds: int) -> dict:
     tasks = parallel_bench.bench_tasks()
     serial_s, sharded_s = parallel_bench.measure(tasks, rounds)
@@ -73,6 +89,7 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="output path (default BENCH_<date>.json)")
     parser.add_argument("--engine-rounds", type=int, default=3)
+    parser.add_argument("--tracking-rounds", type=int, default=3)
     parser.add_argument("--parallel-rounds", type=int, default=2)
     args = parser.parse_args(argv)
 
@@ -86,6 +103,7 @@ def main(argv=None) -> int:
         "platform": platform.platform(),
         "cpu_cores": parallel_bench.cpu_cores(),
         "engine": engine_snapshot(args.engine_rounds),
+        "tracking": tracking_snapshot(args.tracking_rounds),
         "parallel": parallel_snapshot(args.parallel_rounds),
     }
     with open(out_path, "w", encoding="utf-8") as fh:

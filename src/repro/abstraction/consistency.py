@@ -35,11 +35,6 @@ from repro.table.values import value_eq
 
 _NO_VALUE = object()
 
-# Demonstrations and environments are fixed across the thousands of
-# feasibility checks of one synthesis run; their extracted refs/values are
-# memoized by identity.
-_DEMO_CACHE: dict[tuple[int, int, bool], tuple] = {}
-
 
 def _demo_values(demo: Demonstration, env: Env | None) -> list[list[object]]:
     """Per-cell demonstrated values; ``_NO_VALUE`` where not computable."""
@@ -69,24 +64,60 @@ def _demo_heads(demo: Demonstration) -> list[list[str]]:
 
 def _demo_analysis(demo: Demonstration, env: Env | None,
                    value_shadow: bool) -> tuple:
-    key = (id(demo), id(env), value_shadow)
-    cached = _DEMO_CACHE.get(key)
-    if cached is not None and cached[0] is demo:
-        return cached[1], cached[2], cached[3]
     refs = [[refs_of(demo.cell(i, j)) for j in range(demo.n_cols)]
             for i in range(demo.n_rows)]
     values = _demo_values(demo, env) if value_shadow else None
     heads = _demo_heads(demo)
-    if len(_DEMO_CACHE) > 256:
-        _DEMO_CACHE.clear()
-    _DEMO_CACHE[key] = (demo, refs, values, heads)
     return refs, values, heads
+
+
+class DemoAnalysisCache:
+    """Instance-owned memo of per-cell demo analyses.
+
+    Demonstrations and environments are fixed across the thousands of
+    feasibility checks of one synthesis run, so their extracted
+    refs/values/heads are memoized by identity.  Each entry *pins* both
+    the demonstration and the environment it was computed against: an
+    ``id()`` can only be reused after its object is garbage-collected, so
+    pinning makes the identity keys stable for the entry's lifetime — a
+    recycled ``Env`` id can never surface another environment's cell
+    values.  (Both objects are still identity-checked on every hit as a
+    belt-and-braces guard.)
+
+    The cache is owned by whoever performs the consistency checks
+    (normally a :class:`~repro.abstraction.provenance_abs.ProvenanceAbstraction`
+    instance) — there is no module-global evaluation state, matching the
+    engine layer's session-isolation invariant.
+    """
+
+    def __init__(self, maxsize: int = 256) -> None:
+        self._maxsize = maxsize
+        self._entries: dict[tuple[int, int, bool], tuple] = {}
+
+    def analysis(self, demo: Demonstration, env: Env | None,
+                 value_shadow: bool) -> tuple:
+        key = (id(demo), id(env), value_shadow)
+        cached = self._entries.get(key)
+        if cached is not None and cached[0] is demo and cached[1] is env:
+            return cached[2], cached[3], cached[4]
+        refs, values, heads = _demo_analysis(demo, env, value_shadow)
+        if len(self._entries) > self._maxsize:
+            self._entries.clear()
+        self._entries[key] = (demo, env, refs, values, heads)
+        return refs, values, heads
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
 
 
 def abstract_consistent(table: AbstractTable, demo: Demonstration,
                         env: Env | None = None,
                         value_shadow: bool = True,
-                        head_typing: bool = True) -> bool:
+                        head_typing: bool = True,
+                        demo_cache: DemoAnalysisCache | None = None) -> bool:
     """Definition 3: ``E ◁ T◦`` (+ value-shadow / head-typing refinements).
 
     Head typing: under the tracking semantics each operator family produces
@@ -96,8 +127,16 @@ def abstract_consistent(table: AbstractTable, demo: Demonstration,
     an abstract cell whose producer can build its head kind — which stops
     not-yet-instantiated upper operators from shielding wrong lower
     parameters.
+
+    ``demo_cache`` memoizes the demo analysis across calls; when omitted
+    the analysis is computed fresh (the direct-API / test path).
     """
-    demo_refs, demo_vals, demo_heads = _demo_analysis(demo, env, value_shadow)
+    if demo_cache is not None:
+        demo_refs, demo_vals, demo_heads = \
+            demo_cache.analysis(demo, env, value_shadow)
+    else:
+        demo_refs, demo_vals, demo_heads = \
+            _demo_analysis(demo, env, value_shadow)
 
     # Weak / medium abstraction tiers produce many identical rows (the whole
     # table collapses to one shape).  The embedding only needs each distinct

@@ -32,6 +32,8 @@ synthesis sessions never share or clobber each other's results.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 from repro.abstraction.base import Abstraction
 from repro.abstraction.cells import (
     EMPTY_REFS,
@@ -42,7 +44,8 @@ from repro.abstraction.cells import (
     AbstractCell,
     AbstractTable,
 )
-from repro.abstraction.consistency import abstract_consistent
+from repro.abstraction.consistency import DemoAnalysisCache, \
+    abstract_consistent
 from repro.engine.cache import BoundedCache
 from repro.errors import EvaluationError
 from repro.lang import ast
@@ -51,7 +54,7 @@ from repro.lang.holes import Hole, is_concrete
 from repro.provenance.demo import Demonstration
 from repro.provenance.expr import FuncApp, GroupSet
 from repro.provenance.refs import refs_of
-from repro.semantics.groups import extract_groups
+from repro.semantics.groups import extract_groups, group_index_map
 
 DEFAULT_EVAL_CACHE = 100_000
 DEFAULT_HELPER_CACHE = 50_000
@@ -177,12 +180,22 @@ class ProvenanceAnalyzer:
         raise EvaluationError(f"no abstract rule for {type(query).__name__}")
 
     def _lift_tracked(self, query: ast.Query, env: ast.Env) -> AbstractTable:
-        tracked = self.engine.evaluate_tracking(query, env)
-        rows = tuple(
-            tuple(AbstractCell(refs_of(expr), value, True, _expr_head(expr))
-                  for expr, value in zip(expr_row, value_row))
-            for expr_row, value_row in zip(tracked.exprs, tracked.values))
-        return AbstractTable(rows, rows_exact=True)
+        return self.lift_tracked_many((query,), env)[0]
+
+    def lift_tracked_many(self, queries, env: ast.Env) -> list[AbstractTable]:
+        """Lift a batch of concrete subqueries through the engine's batched
+        tracking evaluation (§4: concrete subqueries are evaluated under
+        the tracking semantics for stronger analysis) — one engine dispatch
+        for the whole sibling family."""
+        out = []
+        for tracked in self.engine.evaluate_tracking_many(queries, env):
+            rows = tuple(
+                tuple(AbstractCell(refs_of(expr), value, True,
+                                   _expr_head(expr))
+                      for expr, value in zip(expr_row, value_row))
+                for expr_row, value_row in zip(tracked.exprs, tracked.values))
+            out.append(AbstractTable(rows, rows_exact=True))
+        return out
 
     # ------------------------------------------------------- cached helpers
     def column_heads(self, child: AbstractTable) -> tuple[str, ...]:
@@ -365,10 +378,7 @@ class ProvenanceAnalyzer:
         # values.
         groups = self.grouping(child, keys)
         pool_refs = self.group_pool_refs(child, keys, agg_pool)
-        row_group: dict[int, int] = {}
-        for gi, g in enumerate(groups):
-            for i in g:
-                row_group[i] = gi
+        row_group = group_index_map(groups)
         rows = []
         for i, row in enumerate(child.rows):
             gi = row_group[i]
@@ -454,6 +464,10 @@ class ProvenanceAbstraction(Abstraction):
 
     name = "provenance"
 
+    #: Retained analyzers: the pinned session analyzer plus up to three
+    #: override analyzers (per-run backend overrides must not accumulate).
+    MAX_ANALYZERS = 4
+
     def __init__(self, target_refinement: bool = True,
                  value_shadow: bool = True, head_typing: bool = True) -> None:
         self.target_refinement = target_refinement
@@ -462,27 +476,44 @@ class ProvenanceAbstraction(Abstraction):
         self._analyzer: ProvenanceAnalyzer | None = None
         # One analyzer per engine ever bound: a transient rebind (per-run
         # backend override) must not discard the session's memoization.
-        self._analyzers: dict[int, ProvenanceAnalyzer] = {}
+        # Explicit retention policy: the *first-bound* (session) analyzer
+        # is pinned for the abstraction's lifetime; override analyzers are
+        # kept in an LRU order (most recently re-bound last) and the least
+        # recently used override is evicted past MAX_ANALYZERS.
+        self._analyzers: OrderedDict[int, ProvenanceAnalyzer] = OrderedDict()
+        self._session_key: int | None = None
+        # Demo analyses are memoized per instance (Definition 3 checks the
+        # same demonstration thousands of times per run) — no module-global
+        # evaluation state anywhere in the stack.
+        self._demo_cache = DemoAnalysisCache()
 
     def bind_engine(self, engine) -> None:
         super().bind_engine(engine)
-        analyzer = self._analyzers.get(id(engine))
-        if analyzer is None or analyzer.engine is not engine:
+        key = id(engine)
+        analyzer = self._analyzers.get(key)
+        if analyzer is not None and analyzer.engine is engine:
+            # Rebind of a retained engine: refresh its LRU recency.
+            self._analyzers.move_to_end(key)
+        else:
+            # New engine — or a stale entry whose engine was collected and
+            # its id recycled (the identity check above catches it); the
+            # fresh analyzer replaces the stale one under the same key.
             analyzer = ProvenanceAnalyzer(engine)
-            self._analyzers[id(engine)] = analyzer
-            # Bounded: repeated per-run overrides must not accumulate.
-            # The first-bound (session) analyzer is never evicted; the
-            # oldest override analyzer goes instead.
-            while len(self._analyzers) > 4:
-                keys = iter(self._analyzers)
-                next(keys)                       # session analyzer — keep
-                self._analyzers.pop(next(keys))  # oldest override
+            self._analyzers[key] = analyzer
+            self._analyzers.move_to_end(key)
+            if self._session_key is None:
+                self._session_key = key
+            while len(self._analyzers) > self.MAX_ANALYZERS:
+                for candidate in self._analyzers:   # LRU first
+                    if candidate != self._session_key:
+                        del self._analyzers[candidate]
+                        break
         self._analyzer = analyzer
 
     @property
     def analyzer(self) -> ProvenanceAnalyzer:
         if self._analyzer is None:
-            self._analyzer = ProvenanceAnalyzer(self._engine())
+            self.bind_engine(self._engine())
         return self._analyzer
 
     def feasible(self, query: ast.Query, env: ast.Env,
@@ -490,7 +521,8 @@ class ProvenanceAbstraction(Abstraction):
         table = self.analyzer.abstract_eval(query, env, self.target_refinement)
         return abstract_consistent(table, demo, env,
                                    value_shadow=self.value_shadow,
-                                   head_typing=self.head_typing)
+                                   head_typing=self.head_typing,
+                                   demo_cache=self._demo_cache)
 
     def reset(self) -> None:
         super().reset()
@@ -498,3 +530,4 @@ class ProvenanceAbstraction(Abstraction):
             analyzer.clear()
         if self._analyzer is not None:
             self._analyzer.clear()
+        self._demo_cache.clear()

@@ -15,7 +15,13 @@ swappable component:
   over :class:`~repro.engine.columns.ColumnBlock` with vectorized
   filter/join/group/analytic kernels; evaluated subtrees are cached by
   structural key so a skeleton's shared concrete prefix is computed once
-  across all of its instantiations.
+  across all of its instantiations.  Provenance tracking runs columnar
+  too, over :class:`~repro.engine.tracked_columns.TrackedBlock` (an
+  expression grid whose value shadow is the shared concrete block).
+
+Both backends also expose ``evaluate_many`` / ``evaluate_tracking_many``
+— batched evaluation that amortizes dispatch, cache probing and hole
+checking over a stream of sibling candidates.
 
 ``make_engine(name)`` is the factory the synthesis layer uses
 (``SynthesisConfig.backend`` selects the name).
@@ -26,8 +32,10 @@ from repro.engine.cache import BoundedCache
 from repro.engine.columnar import ColumnarEngine
 from repro.engine.columns import ColumnBlock
 from repro.engine.row import RowEngine
+from repro.engine.tracked_columns import TrackedBlock
 
 __all__ = [
     "BACKENDS", "EngineStats", "EvalEngine", "make_engine",
-    "BoundedCache", "ColumnBlock", "RowEngine", "ColumnarEngine",
+    "BoundedCache", "ColumnBlock", "TrackedBlock", "RowEngine",
+    "ColumnarEngine",
 ]

@@ -17,13 +17,23 @@ strategy for the whole stack while search order and results stay identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
+from collections.abc import Sequence
 
+from repro.errors import HoleError
 from repro.lang import ast
 from repro.semantics.tracking import TrackedTable
 from repro.table.table import Table
 
 #: The selectable evaluation backends (``SynthesisConfig.backend``).
 BACKENDS: tuple[str, ...] = ("row", "columnar")
+
+#: What ``errors="none"`` batch evaluation tolerates: the evaluation
+#: failures of ill-typed candidates (e.g. arithmetic over a NULL-producing
+#: division) — the exact exception set the enumerator's ≺ check treats as
+#: "not a solution".  ``HoleError`` is *never* swallowed: a partial query
+#: in a batch is a caller bug, not a data property.
+BATCH_EVAL_ERRORS: tuple[type[Exception], ...] = (TypeError, ValueError,
+                                                  ZeroDivisionError)
 
 
 @dataclass
@@ -80,6 +90,53 @@ class EvalEngine:
     def evaluate_tracking(self, query: ast.Query, env: ast.Env) -> TrackedTable:
         """``[[q(T̄)]]★`` for a concrete query (raises ``HoleError`` on holes)."""
         raise NotImplementedError
+
+    def evaluate_many(self, queries: Sequence[ast.Query], env: ast.Env,
+                      errors: str = "raise") -> list[Table | None]:
+        """Batched :meth:`evaluate` over sibling candidates.
+
+        Results come back in input order, one per query, and the cache
+        counters advance exactly as the equivalent sequence of single
+        calls would.  ``errors="none"`` maps a candidate whose evaluation
+        fails with one of :data:`BATCH_EVAL_ERRORS` to ``None`` instead of
+        aborting the batch (holes always raise).  Backends override this
+        loop to amortize dispatch and hole-checking over the batch.
+        """
+        self._check_errors_mode(errors)
+        out: list[Table | None] = []
+        for query in queries:
+            try:
+                out.append(self.evaluate(query, env))
+            except HoleError:
+                raise
+            except BATCH_EVAL_ERRORS:
+                if errors == "raise":
+                    raise
+                out.append(None)
+        return out
+
+    def evaluate_tracking_many(self, queries: Sequence[ast.Query],
+                               env: ast.Env, errors: str = "raise"
+                               ) -> list[TrackedTable | None]:
+        """Batched :meth:`evaluate_tracking`; see :meth:`evaluate_many`."""
+        self._check_errors_mode(errors)
+        out: list[TrackedTable | None] = []
+        for query in queries:
+            try:
+                out.append(self.evaluate_tracking(query, env))
+            except HoleError:
+                raise
+            except BATCH_EVAL_ERRORS:
+                if errors == "raise":
+                    raise
+                out.append(None)
+        return out
+
+    @staticmethod
+    def _check_errors_mode(errors: str) -> None:
+        if errors not in ("raise", "none"):
+            raise ValueError(
+                f"errors must be 'raise' or 'none', got {errors!r}")
 
     def reset(self) -> None:
         """Drop all cached evaluation state and statistics."""

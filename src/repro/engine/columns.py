@@ -103,18 +103,29 @@ def predicate_mask(pred: Predicate, block: ColumnBlock) -> list[bool]:
     return [pred.evaluate(row) for row in rows]
 
 
-def filter_block(block: ColumnBlock, pred: Predicate) -> ColumnBlock:
+def filter_indices(block: ColumnBlock, pred: Predicate) -> list[int] | None:
+    """Surviving row indices, or ``None`` when every row passes.
+
+    The ``None`` form lets callers share the input block outright (and is
+    how the engine's selection cache distinguishes "no gather needed").
+    """
     mask = predicate_mask(pred, block)
     if all(mask):
+        return None
+    return [i for i, m in enumerate(mask) if m]
+
+
+def filter_block(block: ColumnBlock, pred: Predicate) -> ColumnBlock:
+    keep = filter_indices(block, pred)
+    if keep is None:
         return block
-    keep = [i for i, m in enumerate(mask) if m]
     return take_rows(block, keep)
 
 
 # ---------------------------------------------------------------------- joins
 
-def _pair_columns(left: ColumnBlock, right: ColumnBlock,
-                  pairs: Sequence[tuple[int, int]]) -> ColumnBlock:
+def pair_columns(left: ColumnBlock, right: ColumnBlock,
+                 pairs: Sequence[tuple[int, int]]) -> ColumnBlock:
     """Assemble the join output for an explicit (left row, right row) list."""
     left_idx = [p[0] for p in pairs]
     right_idx = [p[1] for p in pairs]
@@ -132,8 +143,8 @@ def cross_join(left: ColumnBlock, right: ColumnBlock) -> ColumnBlock:
     return ColumnBlock(columns, nl * nr)
 
 
-def _join_pairs(left: ColumnBlock, right: ColumnBlock,
-                pred: Predicate) -> list[tuple[int, int]]:
+def join_pairs(left: ColumnBlock, right: ColumnBlock,
+               pred: Predicate) -> list[tuple[int, int]]:
     """(left row, right row) index pairs surviving ``pred``, in nested-loop
     order — identical to the row interpreter's combined-row scan."""
     nl, nr = left.n_rows, right.n_rows
@@ -166,13 +177,14 @@ def join_blocks(left: ColumnBlock, right: ColumnBlock,
                 pred: Predicate | None) -> ColumnBlock:
     if pred is None:
         return cross_join(left, right)
-    return _pair_columns(left, right, _join_pairs(left, right, pred))
+    return pair_columns(left, right, join_pairs(left, right, pred))
 
 
-def left_join_blocks(left: ColumnBlock, right: ColumnBlock,
-                     pred: Predicate) -> ColumnBlock:
-    """Left outer join: unmatched left rows padded with NULLs."""
-    matched = _join_pairs(left, right, pred)
+def left_join_pairs(left: ColumnBlock, right: ColumnBlock,
+                    pred: Predicate) -> list[tuple[int, int | None]]:
+    """(left row, right row | None) pairs of a left outer join, in the row
+    interpreter's output order — ``None`` marks a NULL-padded miss."""
+    matched = join_pairs(left, right, pred)
     by_left: dict[int, list[int]] = {}
     for i, j in matched:
         by_left.setdefault(i, []).append(j)
@@ -183,6 +195,12 @@ def left_join_blocks(left: ColumnBlock, right: ColumnBlock,
             pairs.extend((i, j) for j in js)
         else:
             pairs.append((i, None))
+    return pairs
+
+
+def left_pair_columns(left: ColumnBlock, right: ColumnBlock,
+                      pairs: Sequence[tuple[int, int | None]]) -> ColumnBlock:
+    """Assemble a left-join output from :func:`left_join_pairs`."""
     left_idx = [p[0] for p in pairs]
     columns = [[col[i] for i in left_idx] for col in left.columns]
     columns += [[None if j is None else col[j] for _, j in pairs]
@@ -190,16 +208,27 @@ def left_join_blocks(left: ColumnBlock, right: ColumnBlock,
     return ColumnBlock(columns, len(pairs))
 
 
+def left_join_blocks(left: ColumnBlock, right: ColumnBlock,
+                     pred: Predicate) -> ColumnBlock:
+    """Left outer join: unmatched left rows padded with NULLs."""
+    return left_pair_columns(left, right, left_join_pairs(left, right, pred))
+
+
 # ----------------------------------------------------------------------- sort
 
-def sort_block(block: ColumnBlock, cols: Sequence[int],
-               ascending: bool) -> ColumnBlock:
+def sort_indices(block: ColumnBlock, cols: Sequence[int],
+                 ascending: bool) -> list[int]:
+    """The stable sort permutation (row indices in output order)."""
     key_cols = [block.columns[c] for c in cols]
-    order = sorted(
+    return sorted(
         range(block.n_rows),
         key=lambda i: tuple(value_sort_key(col[i]) for col in key_cols),
         reverse=not ascending)
-    return take_rows(block, order)
+
+
+def sort_block(block: ColumnBlock, cols: Sequence[int],
+               ascending: bool) -> ColumnBlock:
+    return take_rows(block, sort_indices(block, cols, ascending))
 
 
 # ----------------------------------------------------- grouping and analytics

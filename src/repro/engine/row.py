@@ -9,7 +9,9 @@ instance owns.
 
 from __future__ import annotations
 
-from repro.engine.base import EngineStats, EvalEngine
+from collections.abc import Sequence
+
+from repro.engine.base import BATCH_EVAL_ERRORS, EngineStats, EvalEngine
 from repro.engine.cache import BoundedCache
 from repro.lang import ast
 from repro.semantics import concrete, tracking
@@ -46,6 +48,49 @@ class RowEngine(EvalEngine):
             return hit
         self.stats.tracking_evals += 1
         return tracking.track_missing(query, env, self._tracking)
+
+    def evaluate_many(self, queries: Sequence[ast.Query], env: ast.Env,
+                      errors: str = "raise") -> list[Table | None]:
+        """Batched :meth:`evaluate`: one dispatch, cache held in locals."""
+        self._check_errors_mode(errors)
+        cache, stats = self._concrete, self.stats
+        out: list[Table | None] = []
+        for query in queries:
+            hit = cache.get((query, env))
+            if hit is not None:
+                stats.concrete_hits += 1
+                out.append(hit)
+                continue
+            stats.concrete_evals += 1
+            try:
+                out.append(concrete.evaluate_missing(query, env, cache))
+            except BATCH_EVAL_ERRORS:
+                if errors == "raise":
+                    raise
+                out.append(None)
+        return out
+
+    def evaluate_tracking_many(self, queries: Sequence[ast.Query],
+                               env: ast.Env, errors: str = "raise"
+                               ) -> list[TrackedTable | None]:
+        """Batched :meth:`evaluate_tracking`; see :meth:`evaluate_many`."""
+        self._check_errors_mode(errors)
+        cache, stats = self._tracking, self.stats
+        out: list[TrackedTable | None] = []
+        for query in queries:
+            hit = cache.get((query, env))
+            if hit is not None:
+                stats.tracking_hits += 1
+                out.append(hit)
+                continue
+            stats.tracking_evals += 1
+            try:
+                out.append(tracking.track_missing(query, env, cache))
+            except BATCH_EVAL_ERRORS:
+                if errors == "raise":
+                    raise
+                out.append(None)
+        return out
 
     def reset(self) -> None:
         self._concrete.clear()

@@ -18,7 +18,7 @@ from repro.lang import ast
 from repro.lang.functions import analytic_spec, apply_function
 from repro.lang.holes import is_concrete
 from repro.lang.naming import output_columns
-from repro.semantics.groups import extract_groups, group_of
+from repro.semantics.groups import extract_groups, group_position_map
 from repro.table.table import Table
 from repro.table.values import value_sort_key
 
@@ -122,11 +122,16 @@ def _rows(query: ast.Query, env: ast.Env, cache: MutableMapping) -> list[tuple]:
         key_rows = [[row[k] for k in query.keys] for row in child.rows]
         groups = extract_groups(key_rows)
         spec = analytic_spec(query.agg_func)
+        # One row→(group, position) index for the whole partition (probing
+        # group membership per row would be quadratic in row count), and one
+        # member-value list per group shared by all of its rows.
+        positions = group_position_map(groups)
+        member_vals = [[child.rows[k][query.agg_col] for k in g]
+                       for g in groups]
         out = []
         for i, row in enumerate(child.rows):
-            g = group_of(groups, i)
-            group_values = [child.rows[k][query.agg_col] for k in g]
-            args = spec.row_args(group_values, g.index(i))
+            gi, pos = positions[i]
+            args = spec.row_args(member_vals[gi], pos)
             out.append(row + (apply_function(spec.term_name, args),))
         return out
 

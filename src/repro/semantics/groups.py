@@ -27,8 +27,37 @@ def extract_groups(key_rows: Sequence[Sequence[Value]]) -> list[list[int]]:
 
 
 def group_of(groups: list[list[int]], row: int) -> list[int]:
-    """The group containing ``row`` (rows belong to exactly one group)."""
+    """The group containing ``row`` (rows belong to exactly one group).
+
+    Linear in the number of groups — fine for a single probe.  Callers that
+    look up every row of a partition must build :func:`group_index_map`
+    (or :func:`group_position_map`) once instead, or partition evaluation
+    goes quadratic in row count.
+    """
     for g in groups:
         if row in g:
             return g
     raise ValueError(f"row {row} not in any group")
+
+
+def group_index_map(groups: Sequence[Sequence[int]]) -> dict[int, int]:
+    """Row index → index of its group in ``groups``, built in one pass."""
+    out: dict[int, int] = {}
+    for gi, g in enumerate(groups):
+        for i in g:
+            out[i] = gi
+    return out
+
+
+def group_position_map(
+        groups: Sequence[Sequence[int]]) -> dict[int, tuple[int, int]]:
+    """Row index → ``(group index, position within the group)``.
+
+    The position is what ``g.index(i)`` would return — the row's rank in
+    its group's table order — precomputed for all rows at once.
+    """
+    out: dict[int, tuple[int, int]] = {}
+    for gi, g in enumerate(groups):
+        for pos, i in enumerate(g):
+            out[i] = (gi, pos)
+    return out

@@ -24,7 +24,7 @@ from repro.lang.holes import is_concrete
 from repro.lang.naming import output_columns
 from repro.provenance.expr import CellRef, Const, Expr, FuncApp, GroupSet
 from repro.provenance.simplify import simplify
-from repro.semantics.groups import extract_groups, group_of
+from repro.semantics.groups import extract_groups, group_position_map
 from repro.table.table import Table
 from repro.table.values import Value, value_sort_key
 
@@ -184,12 +184,19 @@ def _grids(query: ast.Query, env: ast.Env, cache: MutableMapping):
         key_rows = [[row[k] for k in query.keys] for row in child.values]
         groups = extract_groups(key_rows)
         spec = analytic_spec(query.agg_func)
+        # One row→(group, position) index for the whole partition (probing
+        # group membership per row would be quadratic in row count), and one
+        # member list per group shared by all of its rows.
+        positions = group_position_map(groups)
+        member_exprs = [[child.exprs[k][query.agg_col] for k in g]
+                        for g in groups]
+        member_vals = [[child.values[k][query.agg_col] for k in g]
+                       for g in groups]
         exprs, values = [], []
         for i in range(child.n_rows):
-            g = group_of(groups, i)
-            pos = g.index(i)
-            arg_exprs = spec.row_args([child.exprs[k][query.agg_col] for k in g], pos)
-            arg_vals = spec.row_args([child.values[k][query.agg_col] for k in g], pos)
+            gi, pos = positions[i]
+            arg_exprs = spec.row_args(member_exprs[gi], pos)
+            arg_vals = spec.row_args(member_vals[gi], pos)
             new_expr = simplify(FuncApp(spec.term_name, tuple(arg_exprs)))
             exprs.append(child.exprs[i] + (new_expr,))
             values.append(child.values[i]

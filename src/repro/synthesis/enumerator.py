@@ -199,6 +199,12 @@ POP_EXPANDED = "expanded"          # partial; holes branched
 POP_INCONSISTENT = "inconsistent"  # concrete; failed the ≺ check
 POP_CONSISTENT = "consistent"      # concrete; a solution candidate
 
+#: Largest fully-instantiated sibling family batch-warmed through
+#: ``evaluate_tracking_many`` at expansion time.  Covers the common
+#: aggregation/arithmetic/predicate families while keeping the eager work
+#: per pop bounded (an early stop may never pop an oversized family).
+TRACKING_WARM_LIMIT = 64
+
 
 def admit_skeleton(skeleton: ast.Query, demo: Demonstration,
                    config: SynthesisConfig, stats: SearchStats) -> int | None:
@@ -243,8 +249,20 @@ def process_pop(query: ast.Query, env: ast.Env, demo: Demonstration,
     assert position is not None  # query is partial here
     stats.expanded += 1
     domain = hole_domain(query, position, env, config, demo, engine)
-    return POP_EXPANDED, tuple(fill(query, position, value)
-                               for value in domain)
+    expansions = tuple(fill(query, position, value) for value in domain)
+    if expansions and len(expansions) <= TRACKING_WARM_LIMIT \
+            and is_concrete(expansions[0]):
+        # The filled hole was the last one, so *every* sibling is concrete
+        # (they differ only in the filled value) and each will face the ≺
+        # check when popped.  Warm the tracking cache for the whole family
+        # through one batched call — dispatch, hole checks and the shared
+        # prefix are paid once; ill-typed siblings are skipped exactly as
+        # the per-pop check would skip them.  Oversized families (e.g. the
+        # exponential proj-columns domain) are left to per-pop evaluation:
+        # an early stop or budget expiry may never pop most of them, and
+        # the warm batch runs between deadline checks.
+        engine.evaluate_tracking_many(expansions, env, errors="none")
+    return POP_EXPANDED, expansions
 
 
 def enumerate_queries(

@@ -233,3 +233,112 @@ class TestValueShadowRefinement:
         # avg's value differs from any sum, but the demo cells are partial,
         # so the value refinement must not fire
         assert ProvenanceAbstraction().feasible(q, env, demo)
+
+
+class TestAnalyzerRetention:
+    """bind_engine keeps the session analyzer pinned and LRU-evicts
+    override analyzers — an explicit policy, not dict-iteration luck."""
+
+    def _engines(self, n):
+        from repro.engine import RowEngine
+        return [RowEngine() for _ in range(n)]
+
+    def test_session_analyzer_survives_many_rebinds(self):
+        prov = ProvenanceAbstraction()
+        engines = self._engines(8)          # held alive: ids stay unique
+        prov.bind_engine(engines[0])
+        session = prov.analyzer
+        for engine in engines[1:]:
+            prov.bind_engine(engine)
+        assert len(prov._analyzers) <= ProvenanceAbstraction.MAX_ANALYZERS
+        prov.bind_engine(engines[0])
+        assert prov.analyzer is session     # pinned, never evicted
+
+    def test_override_eviction_is_lru(self):
+        prov = ProvenanceAbstraction()
+        engines = self._engines(6)
+        for engine in engines[:4]:          # session + 3 overrides: at cap
+            prov.bind_engine(engine)
+        analyzers = {id(e): prov._analyzers[id(e)] for e in engines[:4]}
+        prov.bind_engine(engines[1])        # refresh override 1's recency
+        prov.bind_engine(engines[4])        # evicts override 2 (LRU), not 1
+        assert id(engines[2]) not in prov._analyzers
+        assert prov._analyzers[id(engines[1])] is analyzers[id(engines[1])]
+        assert prov._analyzers[id(engines[0])] is analyzers[id(engines[0])]
+
+    def test_rebind_reuses_retained_analyzer(self):
+        prov = ProvenanceAbstraction()
+        engines = self._engines(3)
+        for engine in engines:
+            prov.bind_engine(engine)
+        first = prov._analyzers[id(engines[1])]
+        prov.bind_engine(engines[1])
+        assert prov.analyzer is first
+
+    def test_stale_id_entry_replaced_not_reused(self):
+        # Simulate id() reuse: poke an entry whose analyzer points at a
+        # *different* engine object under the new engine's key.
+        from repro.engine import RowEngine
+        from repro.abstraction.provenance_abs import ProvenanceAnalyzer
+        prov = ProvenanceAbstraction()
+        old_engine, new_engine = RowEngine(), RowEngine()
+        stale = ProvenanceAnalyzer(old_engine)
+        prov._analyzers[id(new_engine)] = stale
+        prov.bind_engine(new_engine)
+        assert prov.analyzer is not stale
+        assert prov.analyzer.engine is new_engine
+
+
+class TestDemoAnalysisCache:
+    """The demo-analysis memo is instance-owned and identity-safe."""
+
+    def _demo(self):
+        return Demonstration.of([
+            [cell("T", 0, 0), func("sum", cell("T", 0, 2), cell("T", 1, 2),
+                                   cell("T", 2, 2))],
+            [cell("T", 3, 0), func("sum", cell("T", 3, 2), cell("T", 4, 2))],
+        ])
+
+    def test_no_module_global_cache(self):
+        import repro.abstraction.consistency as consistency
+        assert not hasattr(consistency, "_DEMO_CACHE")
+
+    def test_instances_do_not_share_entries(self, env):
+        a, b = ProvenanceAbstraction(), ProvenanceAbstraction()
+        demo = self._demo()
+        q = Group(TableRef("T"), keys=(0,), agg_func=H("agg_func"),
+                  agg_col=H("agg_col"))
+        assert a.feasible(q, env, demo)
+        assert len(a._demo_cache) > 0
+        assert len(b._demo_cache) == 0
+
+    def test_stale_env_identity_is_recomputed(self, env):
+        """A recycled Env id must never surface another env's values.
+
+        Regression: the old guard only identity-checked the *demo*, so an
+        entry keyed by a garbage-collected env's id answered for whatever
+        new env inherited that id.  Entries now pin and identity-check
+        both objects; a poked stale entry must be ignored and recomputed.
+        """
+        from repro.abstraction.consistency import DemoAnalysisCache
+        cache = DemoAnalysisCache()
+        demo = self._demo()
+        other_env = Env.of(Table.from_rows("T", ["a", "b", "c"],
+                                           [["x", 0, 0]] * 5))
+        poison = object()
+        cache._entries[(id(demo), id(env), True)] = \
+            (demo, other_env, poison, poison, poison)
+        refs, values, heads = cache.analysis(demo, env, True)
+        assert refs is not poison
+        assert values[0][1] == 45            # sum(10, 20, 15) under *env*
+        # The stale entry was replaced by one pinning the right env.
+        entry = cache._entries[(id(demo), id(env), True)]
+        assert entry[1] is env
+
+    def test_reset_clears_demo_cache(self, env):
+        prov = ProvenanceAbstraction()
+        prov.feasible(Group(TableRef("T"), keys=(0,), agg_func=H("agg_func"),
+                            agg_col=H("agg_col")), env, self._demo())
+        assert len(prov._demo_cache) > 0
+        prov.reset()
+        assert len(prov._demo_cache) == 0

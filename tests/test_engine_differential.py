@@ -13,13 +13,38 @@ import pytest
 
 from repro.benchmarks import all_tasks
 from repro.engine import ColumnarEngine, RowEngine
+from repro.lang.holes import fill, first_hole
+from repro.synthesis.domains import hole_domain
+from repro.synthesis.skeletons import construct_skeletons
 from repro.synthesis.synthesizer import Synthesizer
 
 #: Enough budget to cross several skeletons on every task while keeping the
 #: full 80-task differential sweep in tens of seconds.
 VISITED_BUDGET = 400
 
+#: Concrete candidates per task for the term-for-term tracking sweep.
+TRACKING_CANDIDATES = 24
+
 TASKS = all_tasks()
+
+
+def concrete_candidates(task, cap):
+    """The first ``cap`` concrete queries of the task's instantiation
+    stream — the exact population Algorithm 1 feeds ``evaluate_tracking``."""
+    env = task.env
+    helper = RowEngine()
+    out = []
+    stack = list(construct_skeletons(env, task.config))
+    while stack and len(out) < cap:
+        query = stack.pop()
+        position = first_hole(query)
+        if position is None:
+            out.append(query)
+            continue
+        for value in hole_domain(query, position, env, task.config,
+                                 task.demonstration, helper):
+            stack.append(fill(query, position, value))
+    return out
 
 
 def _run(task, backend: str):
@@ -50,6 +75,35 @@ def test_backends_identical_ground_truth_eval(task):
         columnar.evaluate(task.ground_truth, env)
     assert row.evaluate_tracking(task.ground_truth, env) == \
         columnar.evaluate_tracking(task.ground_truth, env)
+
+
+@pytest.mark.parametrize("task", TASKS, ids=[t.name for t in TASKS])
+def test_backends_identical_tracking_terms(task):
+    """``evaluate_tracking`` is compared *term-for-term* across backends.
+
+    The population is the task's real instantiation stream (sibling
+    candidates sharing all but their topmost parameters) plus q_gt — the
+    exact workload whose provenance grids the TrackedBlock kernels build
+    through shared selections, groupings and per-group term construction.
+    """
+    row, columnar = RowEngine(), ColumnarEngine()
+    env = task.env
+    queries = concrete_candidates(task, TRACKING_CANDIDATES)
+    queries.append(task.ground_truth)
+    for query in queries:
+        try:
+            expected = row.evaluate_tracking(query, env)
+        except (TypeError, ValueError, ZeroDivisionError) as err:
+            with pytest.raises(type(err)):
+                columnar.evaluate_tracking(query, env)
+            continue
+        actual = columnar.evaluate_tracking(query, env)
+        assert actual.columns == expected.columns, query
+        assert actual.values == expected.values, query
+        for i, (row_exp, row_act) in enumerate(zip(expected.exprs,
+                                                   actual.exprs)):
+            for j, (term_exp, term_act) in enumerate(zip(row_exp, row_act)):
+                assert term_act == term_exp, (query, i, j)
 
 
 def test_interleaved_sessions_do_not_share_state():

@@ -1,0 +1,254 @@
+"""Columnar provenance tracking: TrackedBlock kernels + batch evaluation."""
+
+import pytest
+
+from repro.engine import ColumnarEngine, RowEngine, TrackedBlock, make_engine
+from repro.engine.columns import ColumnBlock
+from repro.engine.tracked_columns import (
+    agg_term,
+    arithmetic_expr_column,
+    cross_join_exprs,
+    group_agg_expr_column,
+    group_key_expr_columns,
+    group_member_exprs,
+    group_term,
+    partition_expr_column,
+    select_expr_columns,
+    table_ref_exprs,
+    take_expr_columns,
+)
+from repro.errors import HoleError
+from repro.lang import (
+    Arithmetic,
+    Env,
+    Filter,
+    Group,
+    Hole,
+    Partition,
+    Proj,
+    Sort,
+    TableRef,
+)
+from repro.lang.functions import analytic_spec
+from repro.lang.predicates import ConstCmp
+from repro.provenance.expr import CellRef, Const, FuncApp, GroupSet, cell, func
+from repro.provenance.simplify import simplify
+from repro.semantics import evaluate_tracking
+from repro.table.table import Table
+
+
+@pytest.fixture
+def table():
+    return Table.from_rows(
+        "T", ["City", "Quarter", "Amount"],
+        [["A", 1, 10], ["A", 2, 20], ["B", 1, 30], ["B", 2, 40], ["A", 1, 5]])
+
+
+@pytest.fixture
+def env(table):
+    return Env.of(table)
+
+
+class TestTermConstructors:
+    """Shallow constructors must equal full simplify() on simplified args."""
+
+    def test_agg_term_flattens_nested_sums(self):
+        inner = func("sum", cell("T", 0, 2), cell("T", 1, 2))
+        args = (inner, cell("T", 2, 2))
+        assert agg_term("sum", args) == simplify(FuncApp("sum", args))
+
+    def test_agg_term_preserves_partial_flags(self):
+        inner = FuncApp("sum", (cell("T", 0, 2),), partial=True)
+        out = agg_term("sum", (inner, cell("T", 1, 2)))
+        assert out.partial
+        assert out == simplify(FuncApp("sum", (inner, cell("T", 1, 2))))
+
+    def test_agg_term_non_flattenable_kept_nested(self):
+        inner = func("avg", cell("T", 0, 2), cell("T", 1, 2))
+        args = (inner, cell("T", 2, 2))
+        assert agg_term("avg", args) == simplify(FuncApp("avg", args))
+        assert agg_term("avg", args).args[0] is inner
+
+    def test_group_term_flattens_and_dedups(self):
+        nested = GroupSet((cell("T", 0, 0), cell("T", 1, 0)))
+        members = (nested, cell("T", 0, 0), cell("T", 2, 0))
+        assert group_term(members) == simplify(GroupSet(members))
+
+
+class TestTrackedBlockKernels:
+    def _tracked(self, query, env):
+        """Expression columns of the row reference, for comparison."""
+        reference = evaluate_tracking(query, env)
+        return [list(col) for col in zip(*reference.exprs)] \
+            if reference.exprs else []
+
+    def test_table_ref_exprs(self, table):
+        cols = table_ref_exprs("T", table.n_rows, table.n_cols)
+        assert cols[1][3] == CellRef("T", 3, 1)
+        assert len(cols) == table.n_cols
+        assert all(len(c) == table.n_rows for c in cols)
+
+    def test_take_and_select_share_structure(self, table):
+        base = table_ref_exprs("T", table.n_rows, table.n_cols)
+        taken = take_expr_columns(base, [4, 0])
+        assert taken[2] == [base[2][4], base[2][0]]
+        picked = select_expr_columns(base, (2, 0))
+        assert picked[0] is base[2]          # zero-copy projection
+        assert picked[1] is base[0]
+
+    def test_cross_join_order(self):
+        left = [[CellRef("L", 0, 0), CellRef("L", 1, 0)]]
+        right = [[CellRef("R", 0, 0)], [CellRef("R", 0, 1)]]
+        cols = cross_join_exprs(left, right, 2, 1)
+        assert cols[0] == [CellRef("L", 0, 0), CellRef("L", 1, 0)]
+        assert cols[1] == [CellRef("R", 0, 0)] * 2
+
+    def test_group_kernels_match_row_semantics(self, env):
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        expected = self._tracked(q, env)
+        base = table_ref_exprs("T", 5, 3)
+        groups = [[0, 1, 4], [2, 3]]
+        key_cols = group_key_expr_columns(base, (0,), groups)
+        members = group_member_exprs(base[2], groups)
+        agg_col = group_agg_expr_column(members, "sum")
+        assert key_cols[0] == expected[0]
+        assert agg_col == expected[1]
+
+    @pytest.mark.parametrize("agg", ["sum", "avg", "count", "cumsum",
+                                     "rank", "dense_rank", "rank_desc"])
+    def test_partition_styles_match_row_semantics(self, env, agg):
+        q = Partition(TableRef("T"), keys=(0,), agg_func=agg, agg_col=2)
+        expected = self._tracked(q, env)
+        base = table_ref_exprs("T", 5, 3)
+        out = partition_expr_column(base[2], [[0, 1, 4], [2, 3]],
+                                    analytic_spec(agg), 5)
+        assert out == expected[3]
+
+    def test_all_style_window_term_shared_per_group(self):
+        base = table_ref_exprs("T", 4, 1)
+        out = partition_expr_column(base[0], [[0, 2], [1, 3]],
+                                    analytic_spec("sum"), 4)
+        assert out[0] is out[2]            # one term per group, shared
+        assert out[1] is out[3]
+        assert out[0] != out[1]
+
+    def test_arithmetic_exprs_match_row_semantics(self, env):
+        q = Arithmetic(TableRef("T"), func="div", cols=(2, 1))
+        expected = self._tracked(q, env)
+        base = table_ref_exprs("T", 5, 3)
+        out = arithmetic_expr_column(base, "div", (2, 1), 5)
+        assert out == expected[3]
+
+    def test_to_tracked_table_matches_row_reference(self, env):
+        q = Sort(Filter(TableRef("T"), ConstCmp(2, ">", 5)),
+                 cols=(2,), ascending=False)
+        engine = ColumnarEngine()
+        assert engine.evaluate_tracking(q, env) == evaluate_tracking(q, env)
+
+    def test_zero_column_block_materializes(self):
+        block = TrackedBlock([], ColumnBlock([], 3))
+        tracked = block.to_tracked_table(())
+        assert tracked.n_rows == 3
+        assert tracked.exprs == ((), (), ())
+
+
+class TestTrackedSharing:
+    """Structural sharing across nodes, siblings and the concrete path."""
+
+    def test_append_only_operators_share_expr_columns(self, env):
+        engine = ColumnarEngine()
+        child = TableRef("T")
+        part = Partition(child, keys=(0,), agg_func="sum", agg_col=2)
+        engine.evaluate_tracking(part, env)
+        child_block = engine._tracked_block(child, env)
+        part_block = engine._tracked_block(part, env)
+        for j in range(child_block.n_cols):
+            assert part_block.expr_columns[j] is child_block.expr_columns[j]
+
+    def test_value_shadow_is_the_concrete_block(self, env):
+        engine = ColumnarEngine()
+        q = Filter(TableRef("T"), ConstCmp(2, ">", 5))
+        engine.evaluate_tracking(q, env)
+        assert engine._tracked_block(q, env).values is engine._block(q, env)
+
+    def test_grouping_shared_between_concrete_and_tracking(self, env):
+        engine = ColumnarEngine()
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        engine.evaluate(q, env)
+        groupings_after_concrete = len(engine._groupings)
+        engine.evaluate_tracking(q, env)
+        # extractGroups was *not* recomputed for the tracking path: only
+        # tracking-specific entries (key terms / member terms) were added.
+        key = (TableRef("T"), env, (0,))
+        assert key in engine._groupings
+        assert groupings_after_concrete > 0
+
+    def test_sibling_aggregations_share_key_terms(self, env):
+        engine = ColumnarEngine()
+        blocks = [engine._tracked_block(
+            Group(TableRef("T"), keys=(0,), agg_func=f, agg_col=2), env)
+            for f in ("sum", "max", "min", "count")]
+        first = blocks[0].expr_columns[0]
+        assert all(b.expr_columns[0] is first for b in blocks[1:])
+
+
+@pytest.mark.parametrize("backend", ["row", "columnar"])
+class TestEvaluateMany:
+    def _family(self):
+        t = TableRef("T")
+        return [Group(t, keys=(0,), agg_func=f, agg_col=2)
+                for f in ("sum", "max", "min", "count", "avg")]
+
+    def test_results_in_input_order(self, backend, env):
+        engine = make_engine(backend)
+        family = self._family()
+        batch = engine.evaluate_many(family, env)
+        assert batch == [engine.evaluate(q, env) for q in family]
+        tracked = engine.evaluate_tracking_many(family, env)
+        assert tracked == [engine.evaluate_tracking(q, env) for q in family]
+
+    def test_hole_always_raises(self, backend, env):
+        engine = make_engine(backend)
+        partial = Group(TableRef("T"), keys=Hole("keys"), agg_func="sum",
+                        agg_col=2)
+        for errors in ("raise", "none"):
+            with pytest.raises(HoleError):
+                engine.evaluate_many([TableRef("T"), partial], env,
+                                     errors=errors)
+            with pytest.raises(HoleError):
+                engine.evaluate_tracking_many([TableRef("T"), partial], env,
+                                              errors=errors)
+
+    def test_errors_none_maps_failures_to_none(self, backend):
+        # Subtracting a number from a string explodes with TypeError — an
+        # ill-typed candidate (part of real instantiation streams), not a
+        # caller bug.
+        mixed = Table.from_rows("M", ["x", "y"], [["a", 1], ["b", 2]])
+        env = Env.of(mixed)
+        bad = Arithmetic(TableRef("M"), func="sub", cols=(0, 1))
+        good = TableRef("M")
+        engine = make_engine(backend)
+        out = engine.evaluate_many([good, bad, good], env, errors="none")
+        assert out[1] is None
+        assert out[0] == out[2] == engine.evaluate(good, env)
+        with pytest.raises(TypeError):
+            engine.evaluate_many([bad], env)
+
+    def test_invalid_errors_mode_rejected(self, backend, env):
+        engine = make_engine(backend)
+        with pytest.raises(ValueError, match="errors"):
+            engine.evaluate_many([TableRef("T")], env, errors="ignore")
+
+    def test_cache_stats_match_single_calls(self, backend, env):
+        family = self._family()
+        batched, single = make_engine(backend), make_engine(backend)
+        batched.evaluate_tracking_many(family, env)
+        for q in family:
+            single.evaluate_tracking(q, env)
+        assert batched.stats.as_dict() == single.stats.as_dict()
+        # A second batch is all hits — served from cache, counted as such.
+        before = batched.stats.tracking_evals
+        batch = batched.evaluate_tracking_many(family, env)
+        assert batched.stats.tracking_evals == before
+        assert batched.stats.tracking_hits >= len(family)
+        assert batch == [single.evaluate_tracking(q, env) for q in family]

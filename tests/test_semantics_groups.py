@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.semantics.groups import extract_groups, group_of
+from repro.semantics.groups import extract_groups, group_index_map, \
+    group_of, group_position_map
 
 
 class TestExtractGroups:
@@ -45,3 +46,24 @@ class TestGroupOf:
     def test_missing_row_raises(self):
         with pytest.raises(ValueError):
             group_of([[0]], 5)
+
+
+class TestGroupIndexMaps:
+    """The one-pass row→group maps that replace per-row group_of probes."""
+
+    def test_index_map_matches_group_of(self):
+        groups = [[0, 2, 4], [1], [3]]
+        index = group_index_map(groups)
+        assert set(index) == {0, 1, 2, 3, 4}
+        for row, gi in index.items():
+            assert groups[gi] == group_of(groups, row)
+
+    def test_position_map_matches_list_index(self):
+        groups = [[0, 2, 4], [1, 3]]
+        positions = group_position_map(groups)
+        for row, (gi, pos) in positions.items():
+            assert groups[gi].index(row) == pos
+
+    def test_empty_groups(self):
+        assert group_index_map([]) == {}
+        assert group_position_map([]) == {}

@@ -1,18 +1,20 @@
 """Write a perf-trajectory snapshot (``BENCH_<date>.json``).
 
-Runs the three micro-benchmarks — engine (columnar vs row on the
+Runs the four micro-benchmarks — engine (columnar vs row on the
 forum-easy evaluation hot path), tracking (columnar vs row provenance
-tracking on provenance-heavy forum tasks) and parallel (sharded vs serial
-on forum-hard experiment mode) — and records their timings plus
-environment metadata as one JSON document.  The nightly ``perf.yml``
-workflow uploads these as artifacts, giving the repo a queryable
-performance history; ratios are recorded, never asserted (assertion lives
-in the pytest benchmarks).
+tracking on provenance-heavy forum tasks), consistency (incremental
+checker vs naive Definition 1 on consistency-heavy tasks) and parallel
+(sharded vs serial on forum-hard experiment mode) — and records their
+timings plus environment metadata as one JSON document.  The nightly
+``perf.yml`` workflow uploads these as artifacts, giving the repo a
+queryable performance history; ratios are recorded, never asserted
+(assertion lives in the pytest benchmarks).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out FILE]
-        [--engine-rounds N] [--tracking-rounds N] [--parallel-rounds N]
+        [--engine-rounds N] [--tracking-rounds N] [--consistency-rounds N]
+        [--parallel-rounds N]
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ import time
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
+import test_consistency_speed as consistency_bench  # noqa: E402
 import test_engine_speed as engine_bench  # noqa: E402
 import test_parallel_speed as parallel_bench  # noqa: E402
 import test_tracking_speed as tracking_bench  # noqa: E402
@@ -71,6 +74,19 @@ def tracking_snapshot(rounds: int) -> dict:
     }
 
 
+def consistency_snapshot(rounds: int) -> dict:
+    workload = consistency_bench.consistency_workload()
+    naive_s, incremental_s = consistency_bench.measure(workload, rounds)
+    return {
+        "tasks": list(consistency_bench.CONSISTENCY_TASKS),
+        "workload_queries": sum(len(c) for _, _, c in workload),
+        "rounds": rounds,
+        "naive_ms": round(naive_s * 1000, 2),
+        "incremental_ms": round(incremental_s * 1000, 2),
+        "speedup": round(naive_s / incremental_s, 3),
+    }
+
+
 def parallel_snapshot(rounds: int) -> dict:
     tasks = parallel_bench.bench_tasks()
     serial_s, sharded_s = parallel_bench.measure(tasks, rounds)
@@ -90,6 +106,7 @@ def main(argv=None) -> int:
                         help="output path (default BENCH_<date>.json)")
     parser.add_argument("--engine-rounds", type=int, default=3)
     parser.add_argument("--tracking-rounds", type=int, default=3)
+    parser.add_argument("--consistency-rounds", type=int, default=3)
     parser.add_argument("--parallel-rounds", type=int, default=2)
     args = parser.parse_args(argv)
 
@@ -104,6 +121,7 @@ def main(argv=None) -> int:
         "cpu_cores": parallel_bench.cpu_cores(),
         "engine": engine_snapshot(args.engine_rounds),
         "tracking": tracking_snapshot(args.tracking_rounds),
+        "consistency": consistency_snapshot(args.consistency_rounds),
         "parallel": parallel_snapshot(args.parallel_rounds),
     }
     with open(out_path, "w", encoding="utf-8") as fh:

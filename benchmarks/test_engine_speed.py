@@ -21,11 +21,8 @@ import time
 
 import pytest
 
-from repro.benchmarks import easy_tasks
+from repro.benchmarks import easy_tasks, instantiation_stream
 from repro.engine import make_engine
-from repro.lang.holes import fill, first_hole
-from repro.synthesis.domains import hole_domain
-from repro.synthesis.skeletons import construct_skeletons
 
 #: Candidates per task: enough to cross several sibling families per
 #: skeleton while keeping a round well under a second.
@@ -35,21 +32,8 @@ MIN_SPEEDUP = 1.5
 
 
 def _candidates(task, cap=CANDIDATES_PER_TASK):
-    """The first ``cap`` concrete queries of the task's instantiation stream."""
-    env = task.env
-    helper = make_engine("row")
-    out = []
-    stack = list(construct_skeletons(env, task.config))
-    while stack and len(out) < cap:
-        query = stack.pop()
-        position = first_hole(query)
-        if position is None:
-            out.append(query)
-            continue
-        for value in hole_domain(query, position, env, task.config,
-                                 task.demonstration, helper):
-            stack.append(fill(query, position, value))
-    return out
+    """The task's real instantiation stream (shared helper)."""
+    return instantiation_stream(task, cap)
 
 
 @pytest.fixture(scope="module")

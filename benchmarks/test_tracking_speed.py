@@ -22,11 +22,8 @@ import time
 
 import pytest
 
-from repro.benchmarks import easy_tasks
+from repro.benchmarks import easy_tasks, instantiation_stream
 from repro.engine import make_engine
-from repro.lang.holes import fill, first_hole
-from repro.synthesis.domains import hole_domain
-from repro.synthesis.skeletons import construct_skeletons
 
 #: Provenance-heavy forum-easy tasks: partition/group pipelines whose
 #: tracked terms aggregate whole groups (cumsum / rank / share-of-total).
@@ -43,21 +40,8 @@ MIN_SPEEDUP = 1.3
 
 
 def _candidates(task, cap=CANDIDATES_PER_TASK):
-    """The first ``cap`` concrete queries of the task's instantiation stream."""
-    env = task.env
-    helper = make_engine("row")
-    out = []
-    stack = list(construct_skeletons(env, task.config))
-    while stack and len(out) < cap:
-        query = stack.pop()
-        position = first_hole(query)
-        if position is None:
-            out.append(query)
-            continue
-        for value in hole_domain(query, position, env, task.config,
-                                 task.demonstration, helper):
-            stack.append(fill(query, position, value))
-    return out
+    """The task's real instantiation stream (shared helper)."""
+    return instantiation_stream(task, cap)
 
 
 def tracking_workload():

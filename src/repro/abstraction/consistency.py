@@ -165,5 +165,8 @@ def abstract_consistent(table: AbstractTable, demo: Demonstration,
                 return False
         return True
 
+    # The embedding search materializes this relation once as row bitmasks
+    # and runs the bitset backtracking shared with the Definition-1 fast
+    # path — each (demo cell, abstract cell) pair is judged at most once.
     return embedding_exists(demo.n_rows, demo.n_cols,
                             len(kept_rows), table.n_cols, cell_ok)

@@ -518,6 +518,10 @@ class ProvenanceAbstraction(Abstraction):
 
     def feasible(self, query: ast.Query, env: ast.Env,
                  demo: Demonstration) -> bool:
+        # Partial queries face Definition 3 here; once fully instantiated
+        # they instead face Definition 1 through the engine-owned
+        # incremental checker (``engine.consistency``) — the two layers
+        # share the bitset embedding core in :mod:`repro.util.matching`.
         table = self.analyzer.abstract_eval(query, env, self.target_refinement)
         return abstract_consistent(table, demo, env,
                                    value_shadow=self.value_shadow,

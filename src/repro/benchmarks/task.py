@@ -112,3 +112,36 @@ def validate_task(task: BenchmarkTask) -> None:
         raise BenchmarkError(
             f"{task.name}: generated demonstration is not consistent with "
             "the ground truth")
+
+
+def instantiation_stream(task: BenchmarkTask, cap: int,
+                         engine=None) -> list[ast.Query]:
+    """The first ``cap`` concrete queries of the task's instantiation
+    stream — the exact candidate population Algorithm 1 feeds the ≺
+    check, with sibling families contiguous (the enumerator's pop order).
+
+    One shared implementation for the differential suites and the
+    micro-benchmarks, so a change to the search's expansion order cannot
+    silently diverge from the streams those replay.  ``engine`` is the
+    helper domain inference evaluates through (a fresh ``RowEngine`` when
+    omitted).
+    """
+    from repro.engine.row import RowEngine
+    from repro.lang.holes import fill, first_hole
+    from repro.synthesis.domains import hole_domain
+    from repro.synthesis.skeletons import construct_skeletons
+
+    env = task.env
+    helper = engine if engine is not None else RowEngine()
+    out: list[ast.Query] = []
+    stack = list(construct_skeletons(env, task.config))
+    while stack and len(out) < cap:
+        query = stack.pop()
+        position = first_hole(query)
+        if position is None:
+            out.append(query)
+            continue
+        for value in hole_domain(query, position, env, task.config,
+                                 task.demonstration, helper):
+            stack.append(fill(query, position, value))
+    return out

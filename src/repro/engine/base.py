@@ -19,10 +19,15 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from collections.abc import Sequence
 
+from repro.engine.cache import BoundedCache
 from repro.errors import HoleError
 from repro.lang import ast
 from repro.semantics.tracking import TrackedTable
 from repro.table.table import Table
+
+#: Transposed provenance grids retained by the generic
+#: :meth:`EvalEngine.tracked_columns_many` (see there).
+DEFAULT_GRID_CACHE = 50_000
 
 #: The selectable evaluation backends (``SynthesisConfig.backend``).
 BACKENDS: tuple[str, ...] = ("row", "columnar")
@@ -38,12 +43,24 @@ BATCH_EVAL_ERRORS: tuple[type[Exception], ...] = (TypeError, ValueError,
 
 @dataclass
 class EngineStats:
-    """Cache-hit counters an engine maintains across its lifetime."""
+    """Cache-hit counters an engine maintains across its lifetime.
+
+    The ``consistency_*`` / ``col_match_*`` counters belong to the engine's
+    incremental Definition-1 checker (``engine.consistency``): verdicts
+    computed vs served from cache, candidates rejected at the column stage
+    before any row embedding, and per-(column, demonstration) match
+    matrices computed vs served from the memo.
+    """
 
     concrete_evals: int = 0     # evaluate() calls that missed the cache
     concrete_hits: int = 0      # evaluate() calls served from cache
     tracking_evals: int = 0     # evaluate_tracking() cache misses
     tracking_hits: int = 0      # evaluate_tracking() cache hits
+    consistency_checks: int = 0      # Definition-1 verdicts computed
+    consistency_hits: int = 0        # verdicts served from the checker cache
+    consistency_col_pruned: int = 0  # verdicts decided at the column stage
+    col_match_evals: int = 0    # (column, demo) match matrices computed
+    col_match_hits: int = 0     # match matrices served from the memo
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -59,6 +76,24 @@ class EngineStats:
         """Fraction of ``evaluate_tracking()`` calls served from cache."""
         total = self.tracking_evals + self.tracking_hits
         return self.tracking_hits / total if total else 0.0
+
+    @property
+    def consistency_hit_rate(self) -> float:
+        """Fraction of consistency verdicts served from cache."""
+        total = self.consistency_checks + self.consistency_hits
+        return self.consistency_hits / total if total else 0.0
+
+    @property
+    def col_match_hit_rate(self) -> float:
+        """Fraction of column match-matrix lookups served from the memo."""
+        total = self.col_match_evals + self.col_match_hits
+        return self.col_match_hits / total if total else 0.0
+
+    @property
+    def col_prune_rate(self) -> float:
+        """Fraction of computed verdicts decided at the column stage."""
+        return (self.consistency_col_pruned / self.consistency_checks
+                if self.consistency_checks else 0.0)
 
     @staticmethod
     def merge(*parts: "EngineStats") -> "EngineStats":
@@ -82,6 +117,29 @@ class EvalEngine:
 
     def __init__(self) -> None:
         self.stats = EngineStats()
+        self._consistency = None
+        self._tracked_grids: BoundedCache = BoundedCache(DEFAULT_GRID_CACHE)
+
+    @property
+    def consistency(self):
+        """The engine-owned incremental Definition-1 checker.
+
+        Created lazily, one per engine — per-worker engines therefore get
+        per-worker checker instances, and ``reset()`` drops the checker's
+        state with the rest of the evaluation caches.  Counters ride in
+        :attr:`stats`, so :meth:`EngineStats.merge` folds checker traffic
+        across parallel workers like any other cache counter.
+        """
+        if self._consistency is None:
+            from repro.provenance.incremental import ConsistencyChecker
+            self._consistency = ConsistencyChecker(self)
+        return self._consistency
+
+    def _reset_consistency(self) -> None:
+        """Drop consistency-path state; subclasses call from ``reset()``."""
+        if self._consistency is not None:
+            self._consistency.clear()
+        self._tracked_grids.clear()
 
     def evaluate(self, query: ast.Query, env: ast.Env) -> Table:
         """``[[q(T̄)]]`` for a concrete query (raises ``HoleError`` on holes)."""
@@ -130,6 +188,46 @@ class EvalEngine:
                 if errors == "raise":
                     raise
                 out.append(None)
+        return out
+
+    def tracked_columns_many(self, queries: Sequence[ast.Query],
+                             env: ast.Env,
+                             errors: str = "raise") -> list[tuple | None]:
+        """Column-major provenance grids for a batch of concrete queries.
+
+        One entry per query, in input order: a tuple of expression columns
+        (``grid[c][r]`` is the provenance term of cell ``(r, c)``), or
+        ``None`` for an ill-typed candidate under ``errors="none"``.  The
+        generic implementation transposes :meth:`evaluate_tracking_many`
+        results, caching the transposed grid per ``(query, env)`` so a
+        re-checked candidate hands out the *same* column objects — without
+        that, the consistency checker's identity-keyed match memo could
+        never hit on row-major backends.  The columnar backend overrides
+        this to hand out its cached ``TrackedBlock`` columns, which are
+        additionally shared by identity *across sibling candidates* — the
+        structural key the checker memoizes match state on.
+        """
+        cache = self._tracked_grids
+        out: list[tuple | None] = [None] * len(queries)
+        missing: list[int] = []
+        for idx, query in enumerate(queries):
+            hit = cache.get((query, env))
+            if hit is not None:
+                self.stats.tracking_hits += 1
+                out[idx] = hit
+            else:
+                missing.append(idx)
+        if not missing:
+            return out
+        tables = self.evaluate_tracking_many([queries[i] for i in missing],
+                                             env, errors)
+        for idx, table in zip(missing, tables):
+            if table is None:
+                continue
+            grid = tuple(zip(*table.exprs)) if table.exprs else \
+                tuple(() for _ in table.columns)
+            cache[(queries[idx], env)] = grid
+            out[idx] = grid
         return out
 
     @staticmethod

@@ -176,6 +176,41 @@ class ColumnarEngine(EvalEngine):
             out.append(table)
         return out
 
+    def tracked_columns_many(self, queries: Sequence[ast.Query],
+                             env: ast.Env, errors: str = "raise"
+                             ) -> list[tuple | None]:
+        """Batched column-major provenance grids from the block cache.
+
+        Hands out the ``TrackedBlock`` expression columns directly — no
+        row-major :class:`TrackedTable` is materialized for candidates that
+        only face the consistency judgment — and those columns are shared
+        by object identity across sibling candidates, which is what the
+        incremental checker's match-state memo keys on.
+        """
+        self._check_errors_mode(errors)
+        cache, stats = self._tracked_blocks, self.stats
+        out: list[tuple | None] = []
+        for query in queries:
+            key = (query, env)
+            hit = cache.get(key)
+            if hit is not None:
+                stats.tracking_hits += 1
+                out.append(hit.expr_columns)
+                continue
+            if not self._is_concrete(query):
+                raise HoleError(f"cannot track a partial query: {query}")
+            stats.tracking_evals += 1
+            try:
+                block = self._compute_tracked_block(query, env)
+            except BATCH_EVAL_ERRORS:
+                if errors == "raise":
+                    raise
+                out.append(None)
+                continue
+            cache[key] = block
+            out.append(block.expr_columns)
+        return out
+
     def reset(self) -> None:
         self._blocks.clear()
         self._tables.clear()
@@ -186,6 +221,7 @@ class ColumnarEngine(EvalEngine):
         self._col_types.clear()
         self._names.clear()
         self._concreteness.clear()
+        self._reset_consistency()
         self.stats = EngineStats()
 
     def _is_concrete(self, query: ast.Query) -> bool:

@@ -95,4 +95,5 @@ class RowEngine(EvalEngine):
     def reset(self) -> None:
         self._concrete.clear()
         self._tracking.clear()
+        self._reset_consistency()
         self.stats = EngineStats()

@@ -103,7 +103,9 @@ def results_csv(results: Sequence[TaskResult]) -> str:
     header = ("task,suite,difficulty,technique,solved,time_s,visited,pruned,"
               "concrete_checked,consistent_found,timed_out,rank,demo_cells,"
               "backend,workers,engine_concrete_evals,engine_concrete_hits,"
-              "engine_tracking_evals,engine_tracking_hits")
+              "engine_tracking_evals,engine_tracking_hits,"
+              "consistency_checks,consistency_hits,consistency_col_pruned,"
+              "col_match_evals,col_match_hits")
     rows = [header]
     for r in results:
         rows.append(
@@ -112,5 +114,8 @@ def results_csv(results: Sequence[TaskResult]) -> str:
             f"{r.consistent_found},{r.timed_out},"
             f"{'' if r.rank is None else r.rank},{r.demo_cells},{r.backend},"
             f"{r.workers},{r.engine_concrete_evals},{r.engine_concrete_hits},"
-            f"{r.engine_tracking_evals},{r.engine_tracking_hits}")
+            f"{r.engine_tracking_evals},{r.engine_tracking_hits},"
+            f"{r.consistency_checks},{r.consistency_hits},"
+            f"{r.consistency_col_pruned},{r.col_match_evals},"
+            f"{r.col_match_hits}")
     return "\n".join(rows) + "\n"

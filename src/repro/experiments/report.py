@@ -104,6 +104,28 @@ def cache_hit_rates(results: Sequence[TaskResult],
     return concrete, tracking
 
 
+def consistency_stats(results: Sequence[TaskResult],
+                      technique: str) -> tuple[float, float, float]:
+    """(verdict-cache %, column-memo %, column-pruned %) for the incremental
+    consistency checker — aggregated over raw counters like
+    :func:`cache_hit_rates`, so runs with more traffic weigh more.
+
+    Column-pruned is the share of *computed* verdicts decided at the
+    column stage, before any row embedding ran.
+    """
+    subset = [r for r in results if r.technique == technique]
+    checks = sum(r.consistency_checks for r in subset)
+    verdict_total = checks + sum(r.consistency_hits for r in subset)
+    match_total = sum(r.col_match_evals + r.col_match_hits for r in subset)
+    verdict = (100.0 * sum(r.consistency_hits for r in subset)
+               / verdict_total) if verdict_total else float("nan")
+    matches = (100.0 * sum(r.col_match_hits for r in subset)
+               / match_total) if match_total else float("nan")
+    pruned = (100.0 * sum(r.consistency_col_pruned for r in subset)
+              / checks) if checks else float("nan")
+    return verdict, matches, pruned
+
+
 def ranking_stats(results: Sequence[TaskResult],
                   technique: str = "provenance") -> dict[str, int]:
     """Distribution of q_gt's rank among consistent queries (§5.2)."""
@@ -163,6 +185,12 @@ def observation_report(results: Sequence[TaskResult]) -> str:
     for tech in techniques:
         concrete, tracking = cache_hit_rates(results, tech)
         lines.append(f"  {tech:12s} {concrete:5.1f}% / {tracking:5.1f}%")
+    lines.append("consistency checker (verdict cache / column memo / "
+                 "column-pruned):")
+    for tech in techniques:
+        verdict, matches, pruned = consistency_stats(results, tech)
+        lines.append(f"  {tech:12s} {verdict:5.1f}% / {matches:5.1f}% / "
+                     f"{pruned:5.1f}%")
     lines.append("")
 
     if any(r.technique == "provenance" for r in results):

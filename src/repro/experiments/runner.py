@@ -69,6 +69,15 @@ class TaskResult:
     engine_concrete_hits: int = 0
     engine_tracking_evals: int = 0
     engine_tracking_hits: int = 0
+    # Incremental consistency-checker traffic (engine-owned, also summed
+    # over workers): verdicts computed / served from cache, verdicts
+    # decided at the column stage before any row embedding, and column
+    # match matrices computed / served from the memo.
+    consistency_checks: int = 0
+    consistency_hits: int = 0
+    consistency_col_pruned: int = 0
+    col_match_evals: int = 0
+    col_match_hits: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -114,7 +123,12 @@ def run_task(task: BenchmarkTask, technique: str,
         engine_concrete_evals=engine_stats.concrete_evals,
         engine_concrete_hits=engine_stats.concrete_hits,
         engine_tracking_evals=engine_stats.tracking_evals,
-        engine_tracking_hits=engine_stats.tracking_hits)
+        engine_tracking_hits=engine_stats.tracking_hits,
+        consistency_checks=engine_stats.consistency_checks,
+        consistency_hits=engine_stats.consistency_hits,
+        consistency_col_pruned=engine_stats.consistency_col_pruned,
+        col_match_evals=engine_stats.col_match_evals,
+        col_match_hits=engine_stats.col_match_hits)
 
 
 def run_suite(tasks, techniques=TECHNIQUES,

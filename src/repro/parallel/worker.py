@@ -3,7 +3,11 @@
 Each worker owns its own :class:`~repro.engine.base.EvalEngine` and
 abstraction instance (rebuilt from the technique name), so no evaluation
 state crosses worker boundaries — the property the engine layer was built
-to guarantee.
+to guarantee.  That ownership extends to the engine's incremental
+consistency checker (``engine.consistency``): each worker gets its own
+verdict cache and column match-state memo, and the checker's counters ride
+in the worker's :class:`~repro.engine.base.EngineStats`, which the
+coordinator folds with ``EngineStats.merge`` like any other cache traffic.
 
 The loop is the ``sized_dfs`` strategy of ``enumerate_queries`` made
 *round-explicit*: lanes are swept in ascending canonical order, each live

@@ -10,7 +10,11 @@ Two term languages share one representation:
   any number of values.
 
 :mod:`repro.provenance.consistency` implements the ≺ judgment (Fig. 10) and
-the table-level provenance consistency of Definition 1.
+the table-level provenance consistency of Definition 1 (the reference
+oracle); :mod:`repro.provenance.incremental` is the engine-owned
+incremental checker the synthesis hot path runs — match matrices memoized
+per (tracked column, demonstration) across sibling candidates, bitset
+embedding, batched verdicts.
 """
 
 from repro.provenance.expr import (
@@ -28,11 +32,17 @@ from repro.provenance.expr import (
 from repro.provenance.demo import Demonstration
 from repro.provenance.refs import refs_of
 from repro.provenance.simplify import simplify
-from repro.provenance.consistency import demo_consistent, generalizes
+from repro.provenance.consistency import (
+    demo_consistent,
+    generalizes,
+    generalizes_simplified,
+)
+from repro.provenance.incremental import ConsistencyChecker
 
 __all__ = [
     "Expr", "Const", "CellRef", "FuncApp", "GroupSet",
     "const", "cell", "func", "partial_func", "group",
     "Demonstration", "refs_of", "simplify",
-    "generalizes", "demo_consistent",
+    "generalizes", "generalizes_simplified", "demo_consistent",
+    "ConsistencyChecker",
 ]

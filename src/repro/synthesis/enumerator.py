@@ -23,7 +23,6 @@ from repro.engine.base import EngineStats, EvalEngine, make_engine
 from repro.lang import ast
 from repro.lang.holes import fill, first_hole, is_concrete
 from repro.lang.size import operator_count
-from repro.provenance.consistency import demo_consistent
 from repro.provenance.demo import Demonstration
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.domains import hole_domain
@@ -238,7 +237,11 @@ def process_pop(query: ast.Query, env: ast.Env, demo: Demonstration,
     stats.visited += 1
     if is_concrete(query):
         stats.concrete_checked += 1
-        if _consistent(query, env, demo, engine):
+        # ``E ≺ [[q(T̄)]]★`` through the engine-owned incremental checker:
+        # ill-typed candidates (domain inference cannot see e.g. NULL-
+        # producing division statically) evaluate to errors and are simply
+        # not solutions; the checker maps them to False.
+        if engine.consistency.demo_consistent(query, env, demo):
             stats.consistent_found += 1
             return POP_CONSISTENT, ()
         return POP_INCONSISTENT, ()
@@ -254,14 +257,17 @@ def process_pop(query: ast.Query, env: ast.Env, demo: Demonstration,
             and is_concrete(expansions[0]):
         # The filled hole was the last one, so *every* sibling is concrete
         # (they differ only in the filled value) and each will face the ≺
-        # check when popped.  Warm the tracking cache for the whole family
-        # through one batched call — dispatch, hole checks and the shared
-        # prefix are paid once; ill-typed siblings are skipped exactly as
-        # the per-pop check would skip them.  Oversized families (e.g. the
-        # exponential proj-columns domain) are left to per-pop evaluation:
-        # an early stop or budget expiry may never pop most of them, and
-        # the warm batch runs between deadline checks.
-        engine.evaluate_tracking_many(expansions, env, errors="none")
+        # check when popped.  Run the whole family through the batched
+        # tracking + consistency pipeline now: dispatch, hole checks, the
+        # shared evaluation prefix AND the shared column match state are
+        # paid once (siblings share all but one output column, so each
+        # additional sibling matches exactly one new column); every later
+        # pop is then a verdict-cache hit.  Ill-typed siblings get a False
+        # verdict exactly as the per-pop check would give them.  Oversized
+        # families (e.g. the exponential proj-columns domain) are left to
+        # per-pop checking: an early stop or budget expiry may never pop
+        # most of them, and the batch runs between deadline checks.
+        engine.consistency.demo_consistent_many(expansions, env, demo)
     return POP_EXPANDED, expansions
 
 
@@ -335,18 +341,3 @@ def enumerate_queries(
     # (the sharded path likewise returns a merged snapshot).
     result.engine_stats = EngineStats(**engine.stats.as_dict())
     return result
-
-
-def _consistent(query: ast.Query, env: ast.Env, demo: Demonstration,
-                engine: EvalEngine) -> bool:
-    """``E ≺ [[q(T̄)]]★`` with defensive guards.
-
-    Some concrete candidates are ill-typed on the given data in ways domain
-    inference cannot see statically (e.g. arithmetic over a NULL-producing
-    division); those evaluate to errors and are simply not solutions.
-    """
-    try:
-        tracked = engine.evaluate_tracking(query, env)
-    except (TypeError, ValueError, ZeroDivisionError):
-        return False
-    return demo_consistent(tracked.exprs, demo.cells)

@@ -4,8 +4,17 @@ Both the concrete consistency judgment (Definition 1) and the abstract one
 (Definition 3) ask for an *injective* assignment of demonstration rows to
 output rows (and demonstration columns to output columns).  The tables
 involved are tiny — demonstrations have two or three rows and a handful of
-columns — so a simple augmenting-path matcher is more than fast enough and
-keeps the library dependency-free.
+columns — so augmenting-path matchers are more than fast enough and keep
+the library dependency-free.
+
+The grid-embedding search runs over *bitsets*: per-(demo column, output
+column) match state is a tuple of row bitmasks, column assignment
+backtracking ANDs those masks incrementally (a branch dies the moment some
+demo row has no surviving output row), and the row matching at each leaf is
+Kuhn's algorithm over bitmask adjacency (:func:`bitset_match`).  The mask
+representation is also the interchange format of the incremental
+consistency checker (:mod:`repro.provenance.incremental`), which memoizes
+masks across sibling candidates instead of rebuilding them per call.
 """
 
 from __future__ import annotations
@@ -73,6 +82,82 @@ def subsequence_match(needles: Sequence, haystack: Sequence,
     return go(0, 0)
 
 
+def bitset_match(adjacency: Sequence[int], n_right: int) -> list[int] | None:
+    """:func:`bipartite_match` over bitmask adjacency rows.
+
+    ``adjacency[i]`` is the bitmask of right nodes left node ``i`` may be
+    assigned to.  Returns ``assign`` with ``assign[i] = j`` for every left
+    node (each ``j`` distinct), or ``None`` when no saturating matching
+    exists.  Kuhn's augmenting-path algorithm with bit scans in place of
+    the per-edge callback loop.
+    """
+    n_left = len(adjacency)
+    if n_left > n_right:
+        return None
+    match_right: dict[int, int] = {}
+
+    def try_augment(i: int, seen: list[int]) -> bool:
+        while True:
+            avail = adjacency[i] & ~seen[0]
+            if not avail:
+                return False
+            low = avail & -avail
+            seen[0] |= low
+            j = low.bit_length() - 1
+            owner = match_right.get(j)
+            if owner is None or try_augment(owner, seen):
+                match_right[j] = i
+                return True
+
+    for i in range(n_left):
+        if not try_augment(i, [0]):
+            return None
+    assign = [-1] * n_left
+    for j, i in match_right.items():
+        assign[i] = j
+    return assign
+
+
+#: One ``options[j]`` entry of :func:`bitset_embedding_exists`: an output
+#: column index paired with one row bitmask per demo row.
+MaskOption = tuple[int, Sequence[int]]
+
+
+def bitset_embedding_exists(options: Sequence[Sequence[MaskOption]],
+                            n_demo_rows: int, n_rows: int) -> bool:
+    """Injective grid embedding from precomputed row bitmasks.
+
+    ``options[j]`` lists the compatible output columns for demo column
+    ``j`` as ``(c, masks)`` pairs, where ``masks[i]`` is the bitmask of
+    output rows whose cell in column ``c`` can realize demo cell
+    ``(i, j)`` (every ``masks[i]`` nonzero — incompatible columns are
+    filtered by the caller).  Columns are assigned by backtracking with
+    the per-demo-row masks ANDed incrementally, so a partial assignment
+    dies the moment some demo row has no surviving output row; each full
+    assignment is closed with a bitset row matching.
+    """
+    if any(not opts for opts in options):
+        return False
+    n_demo_cols = len(options)
+
+    def assign(j: int, used: int, row_masks: tuple[int, ...]) -> bool:
+        if j == n_demo_cols:
+            return bitset_match(row_masks, n_rows) is not None
+        for c, masks in options[j]:
+            bit = 1 << c
+            if used & bit:
+                continue
+            merged = tuple(rm & m for rm, m in zip(row_masks, masks))
+            if 0 in merged:
+                continue
+            if assign(j + 1, used | bit, merged):
+                return True
+        return False
+
+    full = (1 << n_rows) - 1
+    return assign(0, 0, (full,) * n_demo_rows)
+
+
 def embedding_exists(n_demo_rows: int, n_demo_cols: int,
                      n_rows: int, n_cols: int,
                      cell_ok: Callable[[int, int, int, int], bool]) -> bool:
@@ -84,45 +169,35 @@ def embedding_exists(n_demo_rows: int, n_demo_cols: int,
     shape of table-level consistency (Definition 1) and abstract provenance
     consistency (Definition 3); only ``cell_ok`` differs.
 
-    Columns are assigned by backtracking (few of them); each full column
-    assignment is closed with a bipartite row matching.
+    The relation is materialized once as per-(demo column, output column)
+    row bitmasks — each cell judged at most once, no per-call memo dict —
+    and the search runs through :func:`bitset_embedding_exists`.  A column
+    pair is abandoned at the first demo row with no matching output row,
+    which is the old candidate prefilter folded into mask construction.
     """
     if n_demo_rows > n_rows or n_demo_cols > n_cols:
         return False
 
-    # Candidate output columns per demo column: every demo row must be
-    # matchable by *some* output row — a cheap necessary condition that
-    # prunes the backtracking hard.
-    candidates: list[list[int]] = []
+    options: list[list[MaskOption]] = []
     for j in range(n_demo_cols):
-        cols = [c for c in range(n_cols)
-                if all(any(cell_ok(i, j, r, c) for r in range(n_rows))
-                       for i in range(n_demo_rows))]
-        if not cols:
+        opts: list[MaskOption] = []
+        for c in range(n_cols):
+            masks: list[int] = []
+            for i in range(n_demo_rows):
+                mask = 0
+                for r in range(n_rows):
+                    if cell_ok(i, j, r, c):
+                        mask |= 1 << r
+                if not mask:
+                    break
+                masks.append(mask)
+            else:
+                opts.append((c, tuple(masks)))
+        if not opts:
             return False
-        candidates.append(cols)
+        options.append(opts)
 
-    assignment: list[int] = []
-
-    def rows_match() -> bool:
-        return bipartite_match(
-            n_demo_rows, n_rows,
-            lambda i, r: all(cell_ok(i, j, r, assignment[j])
-                             for j in range(n_demo_cols))) is not None
-
-    def assign_columns(j: int) -> bool:
-        if j == n_demo_cols:
-            return rows_match()
-        for c in candidates[j]:
-            if c in assignment:
-                continue
-            assignment.append(c)
-            if assign_columns(j + 1):
-                return True
-            assignment.pop()
-        return False
-
-    return assign_columns(0)
+    return bitset_embedding_exists(options, n_demo_rows, n_rows)
 
 
 def multiset_match(needles: Sequence, haystack: Sequence,

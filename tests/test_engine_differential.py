@@ -11,11 +11,8 @@ backends traverse identical search prefixes regardless of machine speed.
 
 import pytest
 
-from repro.benchmarks import all_tasks
+from repro.benchmarks import all_tasks, instantiation_stream
 from repro.engine import ColumnarEngine, RowEngine
-from repro.lang.holes import fill, first_hole
-from repro.synthesis.domains import hole_domain
-from repro.synthesis.skeletons import construct_skeletons
 from repro.synthesis.synthesizer import Synthesizer
 
 #: Enough budget to cross several skeletons on every task while keeping the
@@ -31,20 +28,7 @@ TASKS = all_tasks()
 def concrete_candidates(task, cap):
     """The first ``cap`` concrete queries of the task's instantiation
     stream — the exact population Algorithm 1 feeds ``evaluate_tracking``."""
-    env = task.env
-    helper = RowEngine()
-    out = []
-    stack = list(construct_skeletons(env, task.config))
-    while stack and len(out) < cap:
-        query = stack.pop()
-        position = first_hole(query)
-        if position is None:
-            out.append(query)
-            continue
-        for value in hole_domain(query, position, env, task.config,
-                                 task.demonstration, helper):
-            stack.append(fill(query, position, value))
-    return out
+    return instantiation_stream(task, cap, engine=RowEngine())
 
 
 def _run(task, backend: str):

@@ -1,9 +1,11 @@
 """Write a perf-trajectory snapshot (``BENCH_<date>.json``).
 
-Runs the four micro-benchmarks — engine (columnar vs row on the
+Runs the five micro-benchmarks — engine (columnar vs row on the
 forum-easy evaluation hot path), tracking (columnar vs row provenance
 tracking on provenance-heavy forum tasks), consistency (incremental
-checker vs naive Definition 1 on consistency-heavy tasks) and parallel
+checker vs naive Definition 1 on consistency-heavy tasks), numpy
+(vectorized vs pure-python columnar kernels on scaled forum-hard eval
+and tracking; recorded as unavailable without NumPy) and parallel
 (sharded vs serial on forum-hard experiment mode) — and records their
 timings plus environment metadata as one JSON document.  The nightly
 ``perf.yml`` workflow uploads these as artifacts, giving the repo a
@@ -14,7 +16,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out FILE]
         [--engine-rounds N] [--tracking-rounds N] [--consistency-rounds N]
-        [--parallel-rounds N]
+        [--numpy-rounds N] [--parallel-rounds N]
 """
 
 from __future__ import annotations
@@ -31,9 +33,11 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
 import test_consistency_speed as consistency_bench  # noqa: E402
 import test_engine_speed as engine_bench  # noqa: E402
+import test_numpy_speed as numpy_bench  # noqa: E402
 import test_parallel_speed as parallel_bench  # noqa: E402
 import test_tracking_speed as tracking_bench  # noqa: E402
 from repro.benchmarks import easy_tasks  # noqa: E402
+from repro.engine import capabilities  # noqa: E402
 
 
 def _git_commit() -> str | None:
@@ -87,6 +91,34 @@ def consistency_snapshot(rounds: int) -> dict:
     }
 
 
+def numpy_snapshot(rounds: int) -> dict:
+    """NumPy vs columnar on the scaled forum-hard eval + tracking paths.
+
+    Recorded as unavailable (rather than omitted) when NumPy is missing,
+    so the trajectory shows *why* a data point is absent.
+    """
+    if not numpy_bench.HAVE_NUMPY:
+        return {"available": False}
+    workload = numpy_bench.numpy_workload()
+    columnar_s, numpy_s = numpy_bench.measure(workload, rounds)
+    track_columnar_s, track_numpy_s = numpy_bench.measure_tracking(
+        workload, rounds)
+    return {
+        "available": True,
+        "numpy_version": capabilities()["numpy_version"],
+        "tasks": list(numpy_bench.NUMPY_TASKS),
+        "scale_rows": numpy_bench.SCALE_ROWS,
+        "workload_queries": sum(len(qs) for _, qs in workload),
+        "rounds": rounds,
+        "eval_columnar_ms": round(columnar_s * 1000, 2),
+        "eval_numpy_ms": round(numpy_s * 1000, 2),
+        "eval_speedup": round(columnar_s / numpy_s, 3),
+        "tracking_columnar_ms": round(track_columnar_s * 1000, 2),
+        "tracking_numpy_ms": round(track_numpy_s * 1000, 2),
+        "tracking_speedup": round(track_columnar_s / track_numpy_s, 3),
+    }
+
+
 def parallel_snapshot(rounds: int) -> dict:
     tasks = parallel_bench.bench_tasks()
     serial_s, sharded_s = parallel_bench.measure(tasks, rounds)
@@ -107,6 +139,7 @@ def main(argv=None) -> int:
     parser.add_argument("--engine-rounds", type=int, default=3)
     parser.add_argument("--tracking-rounds", type=int, default=3)
     parser.add_argument("--consistency-rounds", type=int, default=3)
+    parser.add_argument("--numpy-rounds", type=int, default=3)
     parser.add_argument("--parallel-rounds", type=int, default=2)
     args = parser.parse_args(argv)
 
@@ -122,6 +155,7 @@ def main(argv=None) -> int:
         "engine": engine_snapshot(args.engine_rounds),
         "tracking": tracking_snapshot(args.tracking_rounds),
         "consistency": consistency_snapshot(args.consistency_rounds),
+        "numpy": numpy_snapshot(args.numpy_rounds),
         "parallel": parallel_snapshot(args.parallel_rounds),
     }
     with open(out_path, "w", encoding="utf-8") as fh:

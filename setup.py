@@ -1,11 +1,33 @@
-"""Legacy setup shim.
+"""Setup shim (the execution environment has no ``wheel`` package and no
+network, so PEP 517 editable installs fail; ``pip install -e .
+--no-use-pep517 --no-build-isolation`` uses this shim instead).
 
-The execution environment has no ``wheel`` package and no network, so PEP 517
-editable installs fail; ``pip install -e . --no-use-pep517
---no-build-isolation`` uses this shim instead.  All metadata lives in
-``pyproject.toml``.
+The library itself is dependency-free pure Python.  The ``numpy`` extra
+enables the vectorized ``backend="numpy"`` engine kernels::
+
+    pip install -e .[numpy]
+
+Without it, ``backend="numpy"`` degrades to the pure-python columnar
+engine with a logged warning (identical results, slower kernels).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-sickle",
+    version="0.5.0",
+    description=("Reproduction of 'Synthesizing analytical SQL queries "
+                 "from computation demonstration' (PLDI 2022)"),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.11",
+    install_requires=[],
+    extras_require={
+        # Optional vectorized ColumnBlock kernels (repro.engine, the
+        # "numpy" backend).  Any NumPy >= 1.24 works; results are
+        # byte-identical with or without it (enforced by
+        # tests/test_backend_fuzz.py and the differential suites).
+        "numpy": ["numpy>=1.24"],
+        "test": ["pytest", "hypothesis", "pytest-benchmark"],
+    },
+)

@@ -152,7 +152,12 @@ def observation_report(results: Sequence[TaskResult]) -> str:
     lines = [f"=== Experiment report over {n_tasks} tasks ===", ""]
     backends = sorted({r.backend for r in results if r.backend})
     if backends:
-        lines.append("evaluation backend: " + ", ".join(backends))
+        from repro.engine import capabilities
+
+        caps = capabilities()
+        numpy_note = caps["numpy_version"] or "unavailable"
+        lines.append("evaluation backend: " + ", ".join(backends)
+                     + f" (host numpy: {numpy_note})")
         workers = sorted({r.workers for r in results})
         lines.append("search workers: "
                      + ", ".join(str(w) for w in workers))

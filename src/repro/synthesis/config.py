@@ -38,8 +38,11 @@ class SynthesisConfig:
 
     # Evaluation backend (repro.engine): "columnar" (default) evaluates over
     # column-major blocks with structural-key subtree caching; "row" is the
-    # row-at-a-time tree interpreter.  Both produce identical results — the
-    # knob trades evaluation strategy, never search behavior.
+    # row-at-a-time tree interpreter; "numpy" layers vectorized NumPy
+    # kernels over the columnar engine (falling back to "columnar" with a
+    # logged warning when NumPy is not installed).  All backends produce
+    # identical results — the knob trades evaluation strategy, never
+    # search behavior.
     backend: str = "columnar"
 
     # --- parallel search ---------------------------------------------------
@@ -103,7 +106,9 @@ class SynthesisConfig:
             raise ValueError("top_n must be >= 1")
         if self.strategy not in ("sized_dfs", "bfs", "dfs"):
             raise ValueError(f"unknown strategy {self.strategy!r}")
-        if self.backend not in ("row", "columnar"):
+        from repro.engine.base import BACKENDS
+
+        if self.backend not in BACKENDS:
             raise ValueError(f"unknown backend {self.backend!r}")
         if self.workers < 1:
             raise ValueError("workers must be >= 1")

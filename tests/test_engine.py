@@ -3,11 +3,15 @@
 import pytest
 
 from repro.engine import (
+    HAVE_NUMPY,
     BoundedCache,
     ColumnarEngine,
     ColumnBlock,
+    NumpyEngine,
     RowEngine,
+    capabilities,
     make_engine,
+    resolve_backend,
 )
 from repro.engine.columns import (
     arithmetic_block,
@@ -91,9 +95,40 @@ class TestMakeEngine:
     def test_unknown_backend(self):
         with pytest.raises(ValueError, match="unknown engine backend"):
             make_engine("gpu")
+        with pytest.raises(ValueError, match="unknown engine backend"):
+            resolve_backend("gpu")
+
+    def test_numpy_backend_resolution(self):
+        engine = make_engine("numpy")
+        if HAVE_NUMPY:
+            assert isinstance(engine, NumpyEngine)
+            assert engine.name == "numpy"
+            assert resolve_backend("numpy") == "numpy"
+        else:
+            # The gate: no NumPy means a pure-python columnar fallback.
+            assert isinstance(engine, ColumnarEngine)
+            assert engine.name == "columnar"
+            assert resolve_backend("numpy") == "columnar"
+
+    def test_capabilities_probe(self):
+        caps = capabilities()
+        assert set(caps["backends"]) == {"row", "columnar", "numpy"}
+        assert caps["default_backend"] == "columnar"
+        assert caps["resolved"]["columnar"] == "columnar"
+        assert caps["numpy_available"] == HAVE_NUMPY
+        assert (caps["numpy_version"] is not None) == HAVE_NUMPY
+        assert caps["resolved"]["numpy"] == \
+            ("numpy" if HAVE_NUMPY else "columnar")
 
 
-@pytest.mark.parametrize("engine_cls", [RowEngine, ColumnarEngine])
+ENGINE_CLASSES = [RowEngine, ColumnarEngine,
+                  pytest.param(NumpyEngine,
+                               marks=pytest.mark.skipif(
+                                   not HAVE_NUMPY,
+                                   reason="NumPy not installed"))]
+
+
+@pytest.mark.parametrize("engine_cls", ENGINE_CLASSES)
 class TestEngineContract:
     def test_evaluate_matches_semantics(self, engine_cls, env):
         from repro.semantics import evaluate
@@ -267,6 +302,173 @@ class TestColumnBlockKernels:
         block = self._block(table)
         out = group_block(block, (0,), "sum", 2)
         assert out.row_tuples() == [("A", 35), ("B", 70)]
+
+
+def _backends():
+    return ["row", "columnar"] + (["numpy"] if HAVE_NUMPY else [])
+
+
+class TestMixedDtypeOrdering:
+    """Sort/aggregate kernels over mixed dtypes and NULLs, all backends.
+
+    The contract under test (pinned while building the cross-backend fuzz
+    harness): every backend orders values exactly like the row engine's
+    ``value_sort_key`` — numbers < strings < booleans < NULL, NULLs last
+    ascending and therefore first descending — and aggregates skip NULLs
+    identically, including the typed-array backend whose fixed-width
+    representations (int64, float64, UCS-4) must never leak their own
+    comparison semantics (the fuzzer caught NumPy's trailing-NUL string
+    truncation doing exactly that).
+    """
+
+    def _mixed_env(self):
+        rows = [(3, "b", None), (None, "a", 2.0), (2.5, None, 2),
+                (True, "a\x00", 10**13), ("x", "", -1), (2, "a", 2.0000001)]
+        return Env.of(Table.from_rows("M", ["k", "s", "v"], rows))
+
+    def _assert_all_backends_match(self, queries, env):
+        reference = RowEngine()
+        for query in queries:
+            expected = reference.evaluate(query, env)
+            tracked = reference.evaluate_tracking(query, env)
+            for backend in _backends()[1:]:
+                engine = make_engine(backend)
+                actual = engine.evaluate(query, env)
+                assert actual.rows == expected.rows, (backend, query)
+                assert actual.schema == expected.schema, (backend, query)
+                assert engine.evaluate_tracking(query, env) == tracked, \
+                    (backend, query)
+
+    def test_sort_null_ordering_matches_row_engine(self):
+        env = self._mixed_env()
+        t = TableRef("M")
+        queries = [Sort(t, cols=(0,), ascending=True),
+                   Sort(t, cols=(0,), ascending=False),
+                   Sort(t, cols=(1, 2), ascending=True),
+                   Sort(t, cols=(2, 1), ascending=False)]
+        self._assert_all_backends_match(queries, env)
+
+    def test_sort_null_last_ascending_first_descending(self):
+        env = self._mixed_env()
+        rows_asc = make_engine("columnar").evaluate(
+            Sort(TableRef("M"), cols=(0,), ascending=True), env).rows
+        rows_desc = make_engine("columnar").evaluate(
+            Sort(TableRef("M"), cols=(0,), ascending=False), env).rows
+        assert rows_asc[-1][0] is None      # NULL sorts last ascending
+        assert rows_desc[0][0] is None      # and first descending
+        # Class order ascending: numbers, then strings, then bools, NULL.
+        assert [r[0] for r in rows_asc] == [2, 2.5, 3, "x", True, None]
+
+    def test_aggregates_skip_nulls_identically(self):
+        env = self._mixed_env()
+        t = TableRef("M")
+        queries = [Group(t, keys=(1,), agg_func=f, agg_col=0)
+                   for f in ("max", "min", "count")]
+        queries += [Partition(t, keys=(), agg_func=f, agg_col=0)
+                    for f in ("max", "min", "count", "cummax", "cummin",
+                              "rank", "rank_desc", "dense_rank")]
+        self._assert_all_backends_match(queries, env)
+
+    def test_rank_of_null_matches_row_engine(self):
+        env = Env.of(Table.from_rows(
+            "M", ["v"], [(5,), (None,), (1,), (None,), (5,)]))
+        queries = [Partition(TableRef("M"), keys=(), agg_func=f, agg_col=0)
+                   for f in ("rank", "rank_desc", "cumsum", "cumavg",
+                             "cummax", "cummin", "count")]
+        self._assert_all_backends_match(queries, env)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+    def test_nul_bearing_strings_stay_on_object_path(self):
+        """NumPy's UCS-4 arrays drop trailing NUL codepoints; such columns
+        must never be typed or "a\\x00" compares equal to "a"."""
+        from repro.engine.numpy_kernels import classify_column
+        assert classify_column(["a\x00", "a"]).is_object
+        assert classify_column(["a", "b"]).kind == "str"
+        env = Env.of(Table.from_rows("M", ["a", "b"],
+                                     [("a\x00", "a"), ("b", "b")]))
+        q = Filter(TableRef("M"), ColCmp(0, "==", 1))
+        assert make_engine("numpy").evaluate(q, env).rows == \
+            RowEngine().evaluate(q, env).rows == (("b", "b"),)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+    def test_negative_zero_ties_match_row_engine_bitwise(self):
+        """NumPy min/max reductions and accumulate seeds pick the other
+        signed zero than the reference fold; 0.0 == -0.0 makes plain
+        equality assertions blind, so compare reprs.  Columns containing
+        -0.0 must classify as object (fuzz-harness finding)."""
+        from repro.engine.numpy_kernels import classify_column
+        assert classify_column([0.0, -0.0]).is_object
+        assert classify_column([0.0, 1.5]).kind == "float"
+        env = Env.of(Table.from_rows("M", ["k", "v"],
+                                     [("a", 0.0), ("a", -0.0)]))
+        queries = [Group(TableRef("M"), keys=(0,), agg_func=f, agg_col=1)
+                   for f in ("max", "min")]
+        queries += [Partition(TableRef("M"), keys=(0,), agg_func=f,
+                              agg_col=1)
+                    for f in ("cummax", "cummin", "cumsum")]
+        for query in queries:
+            expected = RowEngine().evaluate(query, env)
+            actual = make_engine("numpy").evaluate(query, env)
+            assert repr(actual.rows) == repr(expected.rows), query
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+    def test_float_overflow_matches_row_engine_without_warnings(self):
+        """Python float arithmetic overflows silently to inf; the NumPy
+        kernels must not leak RuntimeWarnings (backend-dependent errors
+        under -W error) and must produce the same inf cells."""
+        import warnings
+        env = Env.of(Table.from_rows(
+            "M", ["a", "b"],
+            [(1e308, 1e308), (1e308, -1e308), (1e308, 1e-308), (2.0, 3.0)]))
+        t = TableRef("M")
+        queries = [Arithmetic(t, func=f, cols=(0, 1))
+                   for f in ("add", "sub", "mul", "div", "percent",
+                             "pct_change")]
+        queries += [Filter(t, ColCmp(0, op, 1))
+                    for op in ("==", "!=", "<", ">=")]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            for query in queries:
+                expected = RowEngine().evaluate(query, env)
+                assert make_engine("numpy").evaluate(query, env).rows == \
+                    expected.rows, query
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+    def test_typed_column_classification(self):
+        from repro.engine.numpy_kernels import INT_SAFE, classify_column
+        assert classify_column([1, 2, 3]).kind == "int"
+        assert classify_column([1.0, 2.5]).kind == "float"
+        assert classify_column(["a", "b"]).kind == "str"
+        # Escape hatches: None cells, bools, mixed classes, unsafe ints,
+        # non-finite floats, empty columns.
+        assert classify_column([1, None]).is_object
+        assert classify_column([True, False]).is_object
+        assert classify_column([1, 2.0]).is_object
+        assert classify_column([1, INT_SAFE + 1]).is_object
+        assert classify_column([1.0, float("inf")]).is_object
+        assert classify_column([]).is_object
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="NumPy not installed")
+    def test_float_equality_tolerance_matches_value_eq(self):
+        from repro.table.values import value_eq
+        values = [0.3, 0.1 + 0.2, 1.0, 1.0 + 1e-12, 2.0, -0.0, 0.0, 1e12,
+                  1e12 + 1.0]
+        env = Env.of(Table.from_rows("M", ["v"], [(v,) for v in values]))
+        for const in (0.3, 1.0, 0.0, 1e12, 2):
+            q = Filter(TableRef("M"), ConstCmp(0, "==", const))
+            expected = tuple((v,) for v in values if value_eq(v, const))
+            assert make_engine("numpy").evaluate(q, env).rows == expected
+            assert RowEngine().evaluate(q, env).rows == expected
+
+    def test_cross_class_comparisons_match(self):
+        env = self._mixed_env()
+        t = TableRef("M")
+        queries = [Filter(t, ConstCmp(0, op, const))
+                   for op in ("==", "!=", "<", "<=", ">", ">=")
+                   for const in (2, "a", True, None, 2.0000001)]
+        queries += [Filter(t, ColCmp(0, op, 2))
+                    for op in ("==", "!=", "<", ">=")]
+        self._assert_all_backends_match(queries, env)
 
 
 class TestSessionEngineContracts:

@@ -1,12 +1,14 @@
 """Write a perf-trajectory snapshot (``BENCH_<date>.json``).
 
-Runs the five micro-benchmarks — engine (columnar vs row on the
+Runs the six micro-benchmarks — engine (columnar vs row on the
 forum-easy evaluation hot path), tracking (columnar vs row provenance
 tracking on provenance-heavy forum tasks), consistency (incremental
 checker vs naive Definition 1 on consistency-heavy tasks), numpy
 (vectorized vs pure-python columnar kernels on scaled forum-hard eval
-and tracking; recorded as unavailable without NumPy) and parallel
-(sharded vs serial on forum-hard experiment mode) — and records their
+and tracking; recorded as unavailable without NumPy), parallel
+(sharded vs serial on forum-hard experiment mode) and dispatch
+(shared-memory handle vs pickled-table payload bytes, plus the
+skewed-lane imbalance of static shard planning) — and records their
 timings plus environment metadata as one JSON document.  The nightly
 ``perf.yml`` workflow uploads these as artifacts, giving the repo a
 queryable performance history; ratios are recorded, never asserted
@@ -132,6 +134,35 @@ def parallel_snapshot(rounds: int) -> dict:
     }
 
 
+def dispatch_snapshot() -> dict:
+    """Shared-memory dispatch payload (pickled tables vs handle) and the
+    skewed-lane imbalance of static planning — both core-count
+    independent, so these trajectory points are meaningful even on the
+    noisiest shared runner.  The payload reduction is the gated bar
+    (``test_dispatch_payload_reduction``)."""
+    from repro.benchmarks import all_tasks
+
+    payload_task = next(t for t in all_tasks()
+                        if t.name == parallel_bench.PAYLOAD_TASK)
+    pickled, handle = parallel_bench.dispatch_payload_bytes(payload_task)
+    skew_task = next(t for t in all_tasks()
+                     if t.name == parallel_bench.SKEW_TASK)
+    skew = parallel_bench.skew_measurements(skew_task)
+    return {
+        "payload_task": parallel_bench.PAYLOAD_TASK,
+        "scale_rows": parallel_bench.PAYLOAD_SCALE_ROWS,
+        "pickled_table_bytes": pickled,
+        "handle_bytes": handle,
+        "payload_reduction": round(pickled / handle, 2),
+        "payload_bar": parallel_bench.MIN_PAYLOAD_REDUCTION,
+        "skew_task": parallel_bench.SKEW_TASK,
+        "skew_workers": parallel_bench.WORKERS,
+        "estimated_imbalance": round(skew["estimated_imbalance"], 3),
+        "actual_imbalance": round(skew["actual_imbalance"], 3),
+        "per_shard_visited": skew["per_shard_visited"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="perf_snapshot")
     parser.add_argument("--out", default=None,
@@ -157,6 +188,7 @@ def main(argv=None) -> int:
         "consistency": consistency_snapshot(args.consistency_rounds),
         "numpy": numpy_snapshot(args.numpy_rounds),
         "parallel": parallel_snapshot(args.parallel_rounds),
+        "dispatch": dispatch_snapshot(),
     }
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(snapshot, fh, indent=2)

@@ -645,6 +645,27 @@ class NumpyEngine(ColumnarEngine):
         super().reset()
         self._nd_columns.clear()
 
+    def adopt_env(self, env: ast.Env, adopted=None) -> None:
+        """Seed blocks *and* NDColumn shadows from shared memory.
+
+        Beyond the inherited block seeding, every column whose segment
+        encoding was flagged ``nd_safe`` (the encode-time replay of
+        :func:`classify_column`'s rules) gets its shadow installed as a
+        zero-copy view of the shared buffer — the typed kernels then read
+        the coordinator's bytes directly, with no per-worker copy.
+        Columns without a valid view just classify lazily as usual.
+        """
+        super().adopt_env(env, adopted)
+        if adopted is None:
+            return
+        kinds = {"int64": "int", "float64": "float"}
+        for entry in adopted:
+            for column, view in zip(entry.columns, entry.views):
+                if view is None:
+                    continue
+                kind = kinds.get(view.dtype.name, "str")
+                self._nd_columns[id(column)] = (column, NDColumn(kind, view))
+
     def _ndcol(self, column) -> NDColumn:
         entry = self._nd_columns.get(id(column))
         if entry is not None and entry[0] is column:

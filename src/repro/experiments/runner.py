@@ -39,6 +39,7 @@ class RunConfig:
     backend: str | None = None      # None = each task's configured backend
     workers: int = 1                # shards searched concurrently per run
     parallel_executor: str | None = None   # None = each task's configured one
+    shm: str | None = None          # shared-memory mode; None = task default
 
     def timeout_for(self, task: BenchmarkTask) -> float:
         return (self.easy_timeout_s if task.difficulty == "easy"
@@ -78,6 +79,13 @@ class TaskResult:
     consistency_col_pruned: int = 0
     col_match_evals: int = 0
     col_match_hits: int = 0
+    # Shared-memory dispatch / cross-shard sub-plan cache telemetry
+    # (repro.engine.shm + repro.parallel.plan_cache): segments laid out,
+    # payload bytes shipped through them, and sub-plan blocks served from
+    # a sibling shard's published result.
+    shm_segments: int = 0
+    shm_bytes_shipped: int = 0
+    cross_shard_hits: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -94,6 +102,8 @@ def run_task(task: BenchmarkTask, technique: str,
         overrides["backend"] = run_config.backend
     if run_config.parallel_executor is not None:
         overrides["parallel_executor"] = run_config.parallel_executor
+    if run_config.shm is not None:
+        overrides["shm"] = run_config.shm
     config = task.config.replace(**overrides)
     synthesizer = Synthesizer(technique, config)
     synthesizer.reset()  # cold caches: each measurement is independent
@@ -128,7 +138,10 @@ def run_task(task: BenchmarkTask, technique: str,
         consistency_hits=engine_stats.consistency_hits,
         consistency_col_pruned=engine_stats.consistency_col_pruned,
         col_match_evals=engine_stats.col_match_evals,
-        col_match_hits=engine_stats.col_match_hits)
+        col_match_hits=engine_stats.col_match_hits,
+        shm_segments=engine_stats.shm_segments,
+        shm_bytes_shipped=engine_stats.shm_bytes_shipped,
+        cross_shard_hits=engine_stats.cross_shard_hits)
 
 
 def run_suite(tasks, techniques=TECHNIQUES,

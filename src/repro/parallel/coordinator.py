@@ -32,12 +32,16 @@ def parallel_enumerate(env: ast.Env, demo: Demonstration,
     watch = Stopwatch()
     skeletons = construct_skeletons(env, config)
     plan = ShardPlanner(config.workers, config.shard_strategy).plan(skeletons)
-    outcomes = run_shards(plan, skeletons, env, demo, config,
-                          abstraction_spec, stop_spec,
-                          executor=config.parallel_executor)
+    outcomes, dispatch = run_shards(plan, skeletons, env, demo, config,
+                                    abstraction_spec, stop_spec,
+                                    executor=config.parallel_executor)
     result = replay_merge(outcomes, config, has_stop=stop_spec is not None)
     result.workers = config.workers
     result.raw_stats = SearchStats.merge(*(o.stats for o in outcomes))
     result.engine_stats = EngineStats.merge(*(o.engine_stats for o in outcomes))
+    # Coordinator-side dispatch telemetry (the env layout segments) folds
+    # into the same counters the workers' publishes advanced.
+    result.engine_stats.shm_segments += dispatch.shm_segments
+    result.engine_stats.shm_bytes_shipped += dispatch.shm_bytes_shipped
     result.stats.elapsed_s = watch.elapsed()
     return result

@@ -1,0 +1,209 @@
+"""Cross-shard evaluated-sub-plan caching.
+
+Sibling shards enumerate disjoint skeleton lanes, but the candidates they
+instantiate share deep concrete prefixes — the same ``Group(Join(...))``
+sub-plan is evaluated once per *worker* even though its result is a pure
+function of ``(query, env)``.  This module lets the first worker that
+evaluates a shared sub-plan publish the result block so its siblings get a
+cache hit instead of re-evaluating.
+
+Two variants behind one client protocol (``eligible`` / ``fetch`` /
+``publish``), selected by the executor:
+
+* :class:`LocalPlanCache` — shards in one address space (thread and serial
+  executors, and any longer-lived host that wants cross-*run* reuse for
+  repeated-schema traffic): blocks are shared by object reference under a
+  lock, keyed by the engine's exact structural key ``(query, env)``.
+* :class:`ProcessPlanCache` — process executor: a manager-hosted index maps
+  a structural digest to a :class:`~repro.engine.shm.BlockHandle`; the
+  block's columns live in a shared-memory segment the publishing worker
+  laid out (see :mod:`repro.engine.shm`), so siblings attach and decode
+  instead of re-evaluating.  Publishes are *disowned*: the coordinator
+  sweeps the run prefix when the run ends, so cache segments survive their
+  publisher and a crashed worker can never strand (or tear down) entries
+  its siblings still use.
+
+Determinism: a fetch returns exactly the values ``_compute_block`` would
+have produced (the shm codecs are exact, the local variant shares the very
+objects), and evaluation is pure — so the cache changes where bytes come
+from, never what any shard computes.  The replay merge is therefore
+untouched by any interleaving of publishes and fetches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+
+from repro.engine import shm
+from repro.lang.size import operator_count
+
+#: Sub-plans below this operator count are never shared: table refs and
+#: single-operator blocks are cheaper to recompute than to round-trip
+#: through the index, and they would dominate the entry count.
+MIN_SHARED_OPERATORS = 2
+
+#: Cap on cross-shard index entries per run — bounds shared-memory use
+#: under adversarial enumeration; beyond it workers keep evaluating
+#: locally (their own block caches still apply).
+MAX_SHARED_ENTRIES = 4096
+
+
+def plan_digest(query) -> str:
+    """Stable structural digest of a sub-plan.
+
+    ``repr`` of the frozen-dataclass AST is structural and unambiguous,
+    and — unlike ``hash`` — identical across interpreter processes
+    (seeded string hashing) and across equal trees that differ in object
+    sharing (unlike pickle's memo-dependent byte stream).  The index
+    lives for one run against one environment, so the environment needs
+    no representation in the key.
+    """
+    return hashlib.blake2b(repr(query).encode(), digest_size=16).hexdigest()
+
+
+class LocalPlanCache:
+    """Same-address-space variant: share column lists by reference.
+
+    One instance is handed to every worker of a thread (or serial) run;
+    it is its own client.  Keys are the engine's exact ``(query, env)``
+    structural keys, so entries from different environments (cross-run
+    reuse) can never collide.
+    """
+
+    def __init__(self, max_entries: int = MAX_SHARED_ENTRIES) -> None:
+        self._entries: dict = {}
+        self._lock = threading.Lock()
+        self._max = max_entries
+
+    def client(self, shard_id: int) -> "LocalPlanCache":
+        return self
+
+    def eligible(self, query) -> bool:
+        return operator_count(query) >= MIN_SHARED_OPERATORS
+
+    def fetch(self, query, env):
+        with self._lock:
+            return self._entries.get((query, env))
+
+    def publish(self, query, env, columns, n_rows) -> int:
+        # Shared by reference — nothing is shipped, so no bytes reported
+        # (the shm telemetry counts segment traffic, and there is none).
+        with self._lock:
+            if len(self._entries) < self._max:
+                self._entries.setdefault((query, env), (columns, n_rows))
+        return 0
+
+    def close(self) -> None:
+        pass
+
+
+class ProcessPlanClient:
+    """Worker-side endpoint of the cross-process cache.
+
+    Constructed in the coordinator but inert until used: the shm store
+    and attachment are created lazily in the worker process (after
+    fork/spawn), so the client itself pickles as two small fields.
+    """
+
+    def __init__(self, index, prefix: str, max_entries: int) -> None:
+        self._index = index             # manager DictProxy: digest -> handle
+        self._prefix = prefix
+        self._max = max_entries
+        self._store: shm.ShmStore | None = None
+        self._attachment: shm.Attachment | None = None
+
+    def __getstate__(self):
+        return (self._index, self._prefix, self._max)
+
+    def __setstate__(self, state):
+        self._index, self._prefix, self._max = state
+        self._store = None
+        self._attachment = None
+
+    def eligible(self, query) -> bool:
+        return operator_count(query) >= MIN_SHARED_OPERATORS
+
+    def fetch(self, query, env):
+        try:
+            handle = self._index.get(plan_digest(query))
+        except (EOFError, BrokenPipeError, ConnectionError):
+            return None             # coordinator tearing down — run as local
+        if handle is None:
+            return None
+        if self._attachment is None:
+            self._attachment = shm.Attachment()
+        try:
+            columns = shm.decode_block(handle, self._attachment)
+        except FileNotFoundError:
+            # Publisher's segment was swept (dead-worker cleanup) — a miss.
+            return None
+        return columns, shm.block_rows(handle, self._attachment)
+
+    def publish(self, query, env, columns, n_rows) -> int:
+        try:
+            if len(self._index) >= self._max:
+                return 0
+        except (EOFError, BrokenPipeError, ConnectionError):
+            return 0
+        if self._store is None:
+            self._store = shm.ShmStore(prefix=self._prefix)
+        # Disowned: the segment must outlive this worker (siblings read it
+        # until the run ends); the coordinator's prefix sweep reclaims it.
+        handle = self._store.publish_block(columns, n_rows, disown=True)
+        try:
+            existing = self._index.setdefault(plan_digest(query), handle)
+        except (EOFError, BrokenPipeError, ConnectionError):
+            existing = None
+        if existing is None or existing.segment != handle.segment:
+            # Lost the publish race (or the index is gone): nobody will
+            # ever reference our segment, reclaim it now.
+            shm.unlink_segment(handle.segment)
+            return 0
+        return handle.nbytes
+
+    def close(self) -> None:
+        """Detach (publishes stay — the coordinator owns their unlink)."""
+        if self._attachment is not None:
+            self._attachment.close()
+        if self._store is not None:
+            self._store.close(unlink=False)
+
+
+class ProcessPlanCache:
+    """Coordinator-side lifecycle owner of the cross-process cache.
+
+    Hosts the digest → handle index on a manager process and hands each
+    worker a :class:`ProcessPlanClient` whose publish prefix nests under
+    the run prefix — one end-of-run sweep of the run prefix reclaims
+    every cache segment however its publisher exited.
+    """
+
+    def __init__(self, ctx, run_prefix: str,
+                 max_entries: int = MAX_SHARED_ENTRIES) -> None:
+        self._manager = ctx.Manager()
+        self._index = self._manager.dict()
+        self.run_prefix = run_prefix
+        self._max = max_entries
+
+    def client(self, shard_id: int) -> ProcessPlanClient:
+        return ProcessPlanClient(self._index,
+                                 f"{self.run_prefix}c{shard_id}", self._max)
+
+    def drop_shard(self, shard_id: int) -> int:
+        """Dead-worker cleanup: unlink one shard's published segments and
+        drop the index entries that referenced them (future fetches would
+        only FileNotFoundError their way to a miss, but stale entries
+        block the digest from ever being re-published)."""
+        prefix = f"{self.run_prefix}c{shard_id}_"
+        try:
+            stale = [digest for digest, handle in self._index.items()
+                     if handle.segment.startswith(prefix)]
+            for digest in stale:
+                self._index.pop(digest, None)
+        except (EOFError, BrokenPipeError, ConnectionError):
+            pass
+        return shm.sweep_prefix(prefix)
+
+    def close(self) -> None:
+        self._manager.shutdown()

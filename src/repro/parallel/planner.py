@@ -56,6 +56,19 @@ class ShardPlan:
                 for shard_id, lanes in enumerate(self.shards)
                 for lane in lanes}
 
+    @staticmethod
+    def load_imbalance(loads) -> float:
+        """max/mean of per-shard loads; 1.0 is a perfectly even split.
+
+        Applied to ``plan.costs`` it scores what the planner *believes* it
+        achieved; applied to measured per-shard work (visited counts,
+        wall times) it scores what static planning actually delivered —
+        the gap between the two is the skewed-lane benchmark's subject.
+        """
+        loads = list(loads)
+        mean = sum(loads) / len(loads) if loads else 0.0
+        return max(loads) / mean if mean else 1.0
+
 
 class ShardPlanner:
     """Deterministically partition skeletons into at most ``workers`` shards.

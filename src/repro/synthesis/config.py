@@ -63,6 +63,17 @@ class SynthesisConfig:
     # platforms without fork), or "serial" (run shards one after another
     # in-process — the reference semantics the other two must match).
     parallel_executor: str = "process"
+    # Shared-memory dispatch and cross-shard sub-plan caching
+    # (repro.engine.shm / repro.parallel.plan_cache):
+    #   "auto" — enabled for the process executor (where tables would
+    #            otherwise pickle into every worker), off for thread/serial
+    #   "on"   — force-enable (thread/serial get the in-process sub-plan
+    #            cache; process additionally ships env handles over shm)
+    #   "off"  — force-disable
+    # The REPRO_SHM environment variable, when set, overrides this knob.
+    # Results are identical either way — shm trades dispatch bytes and
+    # redundant evaluation, never search behavior.
+    shm: str = "auto"
 
     # Worklist strategy.  "sized_dfs" (default) explores skeleton sizes
     # smallest-first and completes hole instantiation depth-first within a
@@ -117,6 +128,8 @@ class SynthesisConfig:
         if self.parallel_executor not in ("process", "thread", "serial"):
             raise ValueError(
                 f"unknown parallel_executor {self.parallel_executor!r}")
+        if self.shm not in ("auto", "on", "off"):
+            raise ValueError(f"unknown shm mode {self.shm!r}")
         if self.workers > 1 and self.strategy != "sized_dfs":
             # Sharded search relies on the lane-per-cycle structure of the
             # sized_dfs worklist; the FIFO strategies share one global queue

@@ -2,20 +2,24 @@
 
 Covers the mergeable stats (`SearchStats.merge` / `EngineStats.merge`), the
 shard planner (coverage, balance, determinism under permuted input), the
-declarative stop specs, and the parallel knob validation.
+declarative stop specs, the parallel knob validation (including the shm
+mode), and the dead-worker re-dispatch path of the process executor.
 """
 
+import os
 import random
+from dataclasses import dataclass
 
 import pytest
 
 from repro.benchmarks import get_task
-from repro.engine import EngineStats, make_engine
-from repro.parallel import ShardPlanner, estimated_lane_cost
+from repro.engine import EngineStats, make_engine, shm
+from repro.parallel import ShardPlanner, estimated_lane_cost, resolve_shm
 from repro.synthesis import (
     CallableStop,
     GroundTruthStop,
     SearchStats,
+    StopSpec,
     SynthesisConfig,
     Synthesizer,
     as_stop_spec,
@@ -173,6 +177,27 @@ class TestParallelConfig:
         with pytest.raises(ValueError):
             SynthesisConfig(workers=2, strategy="bfs")
 
+    def test_rejects_unknown_shm_mode(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(shm="maybe")
+
+    def test_resolve_shm_modes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SHM", raising=False)
+        auto = SynthesisConfig(shm="auto")
+        assert resolve_shm(auto, "process") is True
+        assert resolve_shm(auto, "thread") is False
+        assert resolve_shm(auto, "serial") is False
+        assert resolve_shm(SynthesisConfig(shm="on"), "thread") is True
+        assert resolve_shm(SynthesisConfig(shm="off"), "process") is False
+
+    def test_resolve_shm_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "off")
+        assert resolve_shm(SynthesisConfig(shm="on"), "process") is False
+        monkeypatch.setenv("REPRO_SHM", "on")
+        assert resolve_shm(SynthesisConfig(shm="off"), "serial") is True
+        monkeypatch.setenv("REPRO_SHM", "auto")
+        assert resolve_shm(SynthesisConfig(shm="off"), "process") is True
+
     def test_sharded_run_requires_named_abstraction(self):
         task = get_task("fe01_total_sales_per_region")
         from repro.abstraction.base import make_abstraction
@@ -213,3 +238,56 @@ class TestRunWideBudgets:
         recorded = first.engine_stats.as_dict()
         synthesizer.run(task.tables, task.demonstration)
         assert first.engine_stats.as_dict() == recorded
+
+
+@dataclass(frozen=True)
+class CrashingStop(StopSpec):
+    """Kill the worker process at shard start-up, ``crashes`` times total.
+
+    ``os._exit`` bypasses every ``except`` — the worker dies without
+    reporting, exactly the OOM-kill/segfault shape the process executor's
+    re-dispatch handles.  A flag file (one byte appended per crash)
+    bounds the casualties so re-dispatched workers survive; pre-seeding
+    the file lets the serial reference run build the spec harmlessly.
+    """
+
+    flag_path: str
+    crashes: int = 1
+
+    def build(self, engine, env):
+        with open(self.flag_path, "a") as fh:
+            fh.write("x")
+        if os.path.getsize(self.flag_path) <= self.crashes:
+            os._exit(42)
+        return lambda query: False
+
+
+class TestDeadWorkerRedispatch:
+    def _run(self, task, stop, workers):
+        config = task.config.replace(workers=workers,
+                                     parallel_executor="process",
+                                     timeout_s=None, max_visited=60)
+        return Synthesizer("provenance", config).run(
+            task.tables, task.demonstration, stop_predicate=stop)
+
+    def test_crashed_worker_redispatched_once(self, tmp_path):
+        task = get_task("fe01_total_sales_per_region")
+        flag = str(tmp_path / "crashed")
+        before = set(shm.scan_segments())
+        survived = self._run(task, CrashingStop(flag, crashes=1), workers=2)
+        # The re-dispatched shard completed: results match the serial
+        # reference (whose spec build is a no-op — the flag is spent).
+        reference = self._run(task, CrashingStop(flag, crashes=0), workers=1)
+        assert survived.queries == reference.queries
+        assert survived.stats.visited == reference.stats.visited
+        # The dead worker's segments were reclaimed, nothing leaked.
+        assert set(shm.scan_segments()) == before
+
+    def test_twice_dead_worker_raises_instead_of_hanging(self, tmp_path):
+        task = get_task("fe01_total_sales_per_region")
+        flag = str(tmp_path / "crashed")
+        before = set(shm.scan_segments())
+        # Enough crashes that some shard dies on its re-dispatch too.
+        with pytest.raises(RuntimeError, match="died"):
+            self._run(task, CrashingStop(flag, crashes=8), workers=2)
+        assert set(shm.scan_segments()) == before

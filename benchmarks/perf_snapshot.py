@@ -1,15 +1,16 @@
 """Write a perf-trajectory snapshot (``BENCH_<date>.json``).
 
-Runs the six micro-benchmarks — engine (columnar vs row on the
+Runs the seven micro-benchmarks — engine (columnar vs row on the
 forum-easy evaluation hot path), tracking (columnar vs row provenance
 tracking on provenance-heavy forum tasks), consistency (incremental
 checker vs naive Definition 1 on consistency-heavy tasks), numpy
 (vectorized vs pure-python columnar kernels on scaled forum-hard eval
 and tracking; recorded as unavailable without NumPy), parallel
-(sharded vs serial on forum-hard experiment mode) and dispatch
+(sharded vs serial on forum-hard experiment mode), dispatch
 (shared-memory handle vs pickled-table payload bytes, plus the
-skewed-lane imbalance of static shard planning) — and records their
-timings plus environment metadata as one JSON document.  The nightly
+skewed-lane imbalance of static shard planning) and serve (warm-pool
+vs cold request latency on repeated-schema service traffic) — and
+records their timings plus environment metadata as one JSON document.  The nightly
 ``perf.yml`` workflow uploads these as artifacts, giving the repo a
 queryable performance history; ratios are recorded, never asserted
 (assertion lives in the pytest benchmarks).
@@ -18,7 +19,7 @@ Usage::
 
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out FILE]
         [--engine-rounds N] [--tracking-rounds N] [--consistency-rounds N]
-        [--numpy-rounds N] [--parallel-rounds N]
+        [--numpy-rounds N] [--parallel-rounds N] [--serve-pairs N]
 """
 
 from __future__ import annotations
@@ -37,6 +38,7 @@ import test_consistency_speed as consistency_bench  # noqa: E402
 import test_engine_speed as engine_bench  # noqa: E402
 import test_numpy_speed as numpy_bench  # noqa: E402
 import test_parallel_speed as parallel_bench  # noqa: E402
+import test_serve_speed as serve_bench  # noqa: E402
 import test_tracking_speed as tracking_bench  # noqa: E402
 from repro.benchmarks import easy_tasks  # noqa: E402
 from repro.engine import capabilities  # noqa: E402
@@ -163,6 +165,25 @@ def dispatch_snapshot() -> dict:
     }
 
 
+def serve_snapshot(pairs: int) -> dict:
+    """Warm-pool request latency on repeated-schema service traffic.
+
+    The ratio is the gated bar in ``test_serve_speed`` (p50 warm ≤ 0.5×
+    p50 cold); here it is recorded as a trajectory point alongside the
+    cross-worker sub-plan hit count.
+    """
+    m = serve_bench.serve_measurements(pairs)
+    return {
+        "task": serve_bench.SERVE_TASK,
+        "pairs": pairs,
+        "cold_p50_ms": round(m["cold_p50_s"] * 1000, 2),
+        "warm_p50_ms": round(m["warm_p50_s"] * 1000, 2),
+        "warm_ratio": round(m["warm_p50_s"] / m["cold_p50_s"], 3),
+        "warm_ratio_bar": serve_bench.MAX_WARM_RATIO,
+        "cross_request_hits": m["cross_request_hits"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="perf_snapshot")
     parser.add_argument("--out", default=None,
@@ -172,6 +193,8 @@ def main(argv=None) -> int:
     parser.add_argument("--consistency-rounds", type=int, default=3)
     parser.add_argument("--numpy-rounds", type=int, default=3)
     parser.add_argument("--parallel-rounds", type=int, default=2)
+    parser.add_argument("--serve-pairs", type=int,
+                        default=serve_bench.PAIRS)
     args = parser.parse_args(argv)
 
     date = time.strftime("%Y-%m-%d", time.gmtime())
@@ -189,6 +212,7 @@ def main(argv=None) -> int:
         "numpy": numpy_snapshot(args.numpy_rounds),
         "parallel": parallel_snapshot(args.parallel_rounds),
         "dispatch": dispatch_snapshot(),
+        "serve": serve_snapshot(args.serve_pairs),
     }
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(snapshot, fh, indent=2)

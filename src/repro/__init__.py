@@ -17,6 +17,11 @@ Demonstrate a computation and synthesize queries::
     result = synthesize([table], demo)
     print(to_sql(result.queries[0], Env.of(table)))
 
+The one-stop supported surface is :mod:`repro.api` — one-shot
+``synthesize``, resumable ``SynthesisSession`` objects, and the
+``SynthesisService`` warm-pool serving layer are all re-exported there
+(and the most-used names here as well).
+
 Everything the paper's evaluation needs lives under
 :mod:`repro.benchmarks` (the 80-task suite) and :mod:`repro.experiments`
 (figure/report harness).
@@ -52,12 +57,22 @@ from repro.provenance import (
 from repro.engine import ColumnarEngine, EvalEngine, RowEngine, make_engine
 from repro.semantics import evaluate, evaluate_tracking
 from repro.spec import DemoGenConfig, generate_demonstration
-from repro.synthesis import SynthesisConfig, Synthesizer, synthesize
+from repro.synthesis import (
+    SynthesisConfig,
+    SynthesisResult,
+    SynthesisSession,
+    Synthesizer,
+    synthesize,
+)
+from repro.serve import ServiceConfig, SynthesisService, WorkerPool
 from repro.table import Table
+from repro import api
 
 __version__ = "1.0.0"
 
 __all__ = [
+    # the supported facade
+    "api",
     # tables
     "Table", "Env",
     # language
@@ -72,6 +87,9 @@ __all__ = [
     "generalizes", "demo_consistent",
     "generate_demonstration", "DemoGenConfig",
     # synthesis
-    "synthesize", "Synthesizer", "SynthesisConfig",
+    "synthesize", "Synthesizer", "SynthesisConfig", "SynthesisResult",
+    "SynthesisSession",
+    # serving
+    "SynthesisService", "ServiceConfig", "WorkerPool",
     "__version__",
 ]

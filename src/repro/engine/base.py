@@ -115,6 +115,25 @@ class EngineStats:
                         getattr(merged, f.name) + getattr(part, f.name))
         return merged
 
+    def snapshot(self) -> "EngineStats":
+        """An independent copy frozen at this instant (the engine keeps
+        counting; recorded results must not drift with it)."""
+        return EngineStats(**self.as_dict())
+
+    @staticmethod
+    def delta(now: "EngineStats", since: "EngineStats") -> "EngineStats":
+        """Field-wise ``now - since``: the traffic accrued after ``since``.
+
+        This is how a :class:`~repro.synthesis.session.SynthesisSession`
+        accounts for a *warm* engine handed to it by a worker pool — the
+        engine's lifetime counters include other requests' traffic, and a
+        session may only report the slice it caused.
+        """
+        out = EngineStats()
+        for f in fields(EngineStats):
+            setattr(out, f.name, getattr(now, f.name) - getattr(since, f.name))
+        return out
+
 
 class EvalEngine:
     """Base class: subclasses implement the two evaluators and ``reset``."""

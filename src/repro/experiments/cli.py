@@ -42,14 +42,19 @@ def _select_tasks(args) -> list:
     return tasks
 
 
+def build_run_config(args) -> RunConfig:
+    """The one place CLI options become a sweep config."""
+    return RunConfig(easy_timeout_s=args.easy_timeout,
+                     hard_timeout_s=args.hard_timeout,
+                     backend=args.backend,
+                     workers=args.workers,
+                     shm=args.shm)
+
+
 def _run(args):
     tasks = _select_tasks(args)
     techniques = tuple(args.techniques.split(","))
-    config = RunConfig(easy_timeout_s=args.easy_timeout,
-                       hard_timeout_s=args.hard_timeout,
-                       backend=args.backend,
-                       workers=args.workers,
-                       shm=args.shm)
+    config = build_run_config(args)
 
     def progress(result):
         status = "solved" if result.solved else "timeout"

@@ -15,10 +15,12 @@ hardware-bound (the paper used 600 s; pure Python needs humbler defaults):
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+import warnings
+from dataclasses import dataclass, fields
 
 from repro.benchmarks.task import BenchmarkTask
 from repro.engine.base import EngineStats
+from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.ranking import rank_queries
 from repro.synthesis.stop import GroundTruthStop
 from repro.synthesis.synthesizer import Synthesizer
@@ -28,10 +30,24 @@ DEFAULT_HARD_TIMEOUT = float(os.environ.get("REPRO_TIMEOUT_HARD", "15"))
 
 TECHNIQUES = ("provenance", "value", "type")
 
+#: SynthesisConfig fields a sweep-level config overrides on each task's own
+#: config.  Execution knobs only: a task's *search space* (operator pools,
+#: constants, key/sort limits, …) is part of the benchmark definition and
+#: never overridden by a sweep.
+EXEC_OVERRIDES = ("timeout_s", "max_visited", "backend", "workers",
+                  "shard_strategy", "parallel_executor", "shm", "strategy")
+
 
 @dataclass(frozen=True)
 class RunConfig:
-    """Budgets (and evaluation backend) for one experiment sweep."""
+    """Budgets (and evaluation backend) for one experiment sweep.
+
+    The difficulty-dependent timeout is the one thing a flat
+    :class:`~repro.synthesis.config.SynthesisConfig` cannot express —
+    everything else here maps directly onto config fields, and
+    ``run_task``/``run_suite`` also accept a ``SynthesisConfig`` whose
+    :data:`EXEC_OVERRIDES` fields then apply uniformly to every task.
+    """
 
     easy_timeout_s: float = DEFAULT_EASY_TIMEOUT
     hard_timeout_s: float = DEFAULT_HARD_TIMEOUT
@@ -44,6 +60,53 @@ class RunConfig:
     def timeout_for(self, task: BenchmarkTask) -> float:
         return (self.easy_timeout_s if task.difficulty == "easy"
                 else self.hard_timeout_s)
+
+
+#: Defaults a sweep-level SynthesisConfig leaves alone: an EXEC_OVERRIDES
+#: field still at its dataclass default is treated as "not specified" and
+#: keeps the task's own value (mirroring RunConfig's None fields).
+_CONFIG_DEFAULTS = SynthesisConfig()
+
+
+def task_config(task: BenchmarkTask,
+                run_config: "RunConfig | SynthesisConfig") -> SynthesisConfig:
+    """The effective per-task SynthesisConfig for one sweep run."""
+    if isinstance(run_config, SynthesisConfig):
+        overrides = {
+            name: getattr(run_config, name) for name in EXEC_OVERRIDES
+            if getattr(run_config, name) != getattr(_CONFIG_DEFAULTS, name)}
+        return task.config.replace(**overrides) if overrides else task.config
+    overrides = dict(timeout_s=run_config.timeout_for(task),
+                     max_visited=run_config.max_visited,
+                     workers=run_config.workers)
+    if run_config.backend is not None:
+        overrides["backend"] = run_config.backend
+    if run_config.parallel_executor is not None:
+        overrides["parallel_executor"] = run_config.parallel_executor
+    if run_config.shm is not None:
+        overrides["shm"] = run_config.shm
+    return task.config.replace(**overrides)
+
+
+def _coerce_run_config(run_config, legacy: dict,
+                       caller: str) -> "RunConfig | SynthesisConfig":
+    """Resolve the config argument, absorbing deprecated loose kwargs."""
+    if legacy:
+        unknown = set(legacy) - {f.name for f in fields(RunConfig)}
+        if unknown:
+            raise TypeError(
+                f"{caller}() got unexpected keyword arguments "
+                f"{sorted(unknown)}")
+        warnings.warn(
+            f"passing loose keyword arguments to {caller}() is deprecated; "
+            f"pass a RunConfig or SynthesisConfig instead",
+            DeprecationWarning, stacklevel=3)
+        if run_config is not None:
+            raise TypeError(
+                f"{caller}() got both a config object and loose keyword "
+                f"arguments; pass one or the other")
+        return RunConfig(**legacy)
+    return run_config if run_config is not None else RunConfig()
 
 
 @dataclass
@@ -91,28 +154,28 @@ class TaskResult:
         return dict(self.__dict__)
 
 
-def run_task(task: BenchmarkTask, technique: str,
-             run_config: RunConfig | None = None) -> TaskResult:
-    """Run one technique on one task until q_gt is found or timeout."""
-    run_config = run_config or RunConfig()
-    overrides: dict = dict(timeout_s=run_config.timeout_for(task),
-                           max_visited=run_config.max_visited,
-                           workers=run_config.workers)
-    if run_config.backend is not None:
-        overrides["backend"] = run_config.backend
-    if run_config.parallel_executor is not None:
-        overrides["parallel_executor"] = run_config.parallel_executor
-    if run_config.shm is not None:
-        overrides["shm"] = run_config.shm
-    config = task.config.replace(**overrides)
+def run_task(task: BenchmarkTask, technique: str = "provenance",
+             run_config: RunConfig | SynthesisConfig | None = None,
+             **legacy) -> TaskResult:
+    """Run one technique on one task until q_gt is found or timeout.
+
+    ``run_config`` is a :class:`RunConfig` (difficulty-dependent budgets)
+    or a :class:`~repro.synthesis.config.SynthesisConfig` whose execution
+    fields (:data:`EXEC_OVERRIDES`) apply on top of the task's own config.
+    Loose keyword arguments (``backend=``, ``workers=``, …) are the
+    pre-session API — still accepted, with a ``DeprecationWarning``.
+    """
+    run_config = _coerce_run_config(run_config, legacy, "run_task")
+    config = task_config(task, run_config)
     synthesizer = Synthesizer(technique, config)
     synthesizer.reset()  # cold caches: each measurement is independent
 
-    # Declarative stop spec: the serial loop builds it against the session
-    # engine; sharded workers each rebuild it against their own.
-    result = synthesizer.run(
-        task.tables, task.demonstration,
-        stop_predicate=GroundTruthStop(task.ground_truth))
+    # One resumable session per measurement; the declarative stop spec is
+    # built against the session engine (sharded workers each rebuild it
+    # against their own).
+    session = synthesizer.session(task.tables, task.demonstration,
+                                  GroundTruthStop(task.ground_truth))
+    result = session.run()
 
     rank = None
     if result.target is not None:
@@ -145,10 +208,14 @@ def run_task(task: BenchmarkTask, technique: str,
 
 
 def run_suite(tasks, techniques=TECHNIQUES,
-              run_config: RunConfig | None = None,
-              progress=None) -> list[TaskResult]:
-    """Run a technique sweep over a task list."""
-    run_config = run_config or RunConfig()
+              run_config: RunConfig | SynthesisConfig | None = None,
+              progress=None, **legacy) -> list[TaskResult]:
+    """Run a technique sweep over a task list.
+
+    Accepts the same config forms (and deprecated loose kwargs) as
+    :func:`run_task`.
+    """
+    run_config = _coerce_run_config(run_config, legacy, "run_suite")
     results: list[TaskResult] = []
     for task in tasks:
         for technique in techniques:

@@ -28,18 +28,18 @@ reaches around them.
                       ranked queries + SearchStats.merge telemetry
 """
 
-from repro.parallel.coordinator import parallel_enumerate
+from repro.parallel.coordinator import parallel_enumerate, parallel_resume
 from repro.parallel.executor import CancelToken, NO_LIMIT, resolve_shm, \
-    run_shards
+    run_payloads, run_shards
 from repro.parallel.merge import replay_merge
 from repro.parallel.plan_cache import LocalPlanCache, ProcessPlanCache
 from repro.parallel.planner import ShardPlan, ShardPlanner, estimated_lane_cost
 from repro.parallel.worker import LaneTrace, ShardOutcome, run_shard
 
 __all__ = [
-    "parallel_enumerate",
+    "parallel_enumerate", "parallel_resume",
     "ShardPlanner", "ShardPlan", "estimated_lane_cost",
-    "run_shards", "run_shard", "CancelToken", "NO_LIMIT",
+    "run_shards", "run_payloads", "run_shard", "CancelToken", "NO_LIMIT",
     "LaneTrace", "ShardOutcome", "replay_merge",
     "resolve_shm", "LocalPlanCache", "ProcessPlanCache",
 ]

@@ -99,25 +99,27 @@ class ProcessCancelToken:
 
 def _guarded_run_shard(shard_id, lanes, env, demo, config, abstraction_spec,
                        stop_spec, cancel, deadline,
-                       plan_cache=None) -> ShardOutcome:
+                       plan_cache=None, seeded=False) -> ShardOutcome:
     """run_shard that reports failures instead of raising (or vanishing)."""
     try:
         return run_shard(shard_id, lanes, env, demo, config,
                          abstraction_spec, stop_spec, cancel, deadline,
-                         plan_cache=plan_cache)
+                         plan_cache=plan_cache, seeded=seeded)
     except Exception:
         return ShardOutcome(shard_id, error=traceback.format_exc())
 
 
 def _process_main(shard_id, lanes, env, demo, config, abstraction_spec,
-                  stop_spec, cancel, deadline, plan_cache, queue) -> None:
+                  stop_spec, cancel, deadline, plan_cache, seeded,
+                  queue) -> None:
     queue.put(_guarded_run_shard(shard_id, lanes, env, demo, config,
                                  abstraction_spec, stop_spec, cancel,
-                                 deadline, plan_cache))
+                                 deadline, plan_cache, seeded))
 
 
 def run_shards(plan: ShardPlan, skeletons, env, demo, config,
                abstraction_spec: str, stop_spec, executor: str | None = None,
+               cancel_export=None,
                ) -> tuple[list[ShardOutcome], shm.ShmDispatchStats]:
     """Execute every shard in ``plan``; outcomes ordered by shard id.
 
@@ -127,9 +129,28 @@ def run_shards(plan: ShardPlan, skeletons, env, demo, config,
     return value is the coordinator-side shared-memory dispatch telemetry
     (zeros when shm is off for this executor).
     """
-    executor = executor or config.parallel_executor
     payloads = [tuple((lane, skeletons[lane]) for lane in shard)
                 for shard in plan.shards]
+    return run_payloads(payloads, env, demo, config, abstraction_spec,
+                        stop_spec, executor=executor,
+                        cancel_export=cancel_export)
+
+
+def run_payloads(payloads, env, demo, config, abstraction_spec: str,
+                 stop_spec, executor: str | None = None, seeded: bool = False,
+                 cancel_export=None,
+                 ) -> tuple[list[ShardOutcome], shm.ShmDispatchStats]:
+    """Execute pre-built shard payloads; outcomes ordered by shard id.
+
+    ``payloads[i]`` is shard ``i``'s lane tuple — ``(lane_id, skeleton)``
+    pairs normally, ``(lane_id, stack)`` pairs under ``seeded=True`` (a
+    resumed session's exported worklist; see
+    :func:`repro.parallel.worker.run_shard`).  ``cancel_export``, when
+    given, receives the run's shared cancel token as soon as it exists —
+    the hook a live :class:`~repro.synthesis.session.SynthesisSession`
+    uses to propagate ``cancel()`` into in-flight workers.
+    """
+    executor = executor or config.parallel_executor
     # One wall-clock budget for the whole run: the serial executor's shards
     # run one after another and must share it, not each start afresh.
     # time.monotonic is system-wide on the platforms with fork, so the
@@ -140,17 +161,20 @@ def run_shards(plan: ShardPlan, skeletons, env, demo, config,
     if executor == "process":
         outcomes = _run_processes(payloads, env, demo, config,
                                   abstraction_spec, stop_spec, deadline,
-                                  use_shm, dispatch)
+                                  use_shm, dispatch, seeded, cancel_export)
     elif executor == "thread":
         outcomes = _run_threads(payloads, env, demo, config,
                                 abstraction_spec, stop_spec, deadline,
-                                LocalPlanCache() if use_shm else None)
+                                LocalPlanCache() if use_shm else None,
+                                seeded, cancel_export)
     elif executor == "serial":
         cancel = CancelToken()
+        if cancel_export is not None:
+            cancel_export(cancel)
         cache = LocalPlanCache() if use_shm else None
         outcomes = [_guarded_run_shard(i, lanes, env, demo, config,
                                        abstraction_spec, stop_spec, cancel,
-                                       deadline, cache)
+                                       deadline, cache, seeded)
                     for i, lanes in enumerate(payloads)]
     else:
         raise ValueError(f"unknown parallel_executor {executor!r}")
@@ -165,14 +189,17 @@ def run_shards(plan: ShardPlan, skeletons, env, demo, config,
 
 
 def _run_threads(payloads, env, demo, config, abstraction_spec,
-                 stop_spec, deadline, plan_cache) -> list[ShardOutcome]:
+                 stop_spec, deadline, plan_cache, seeded,
+                 cancel_export) -> list[ShardOutcome]:
     cancel = CancelToken()
+    if cancel_export is not None:
+        cancel_export(cancel)
     outcomes: list[ShardOutcome | None] = [None] * len(payloads)
 
     def job(i: int, lanes) -> None:
         outcomes[i] = _guarded_run_shard(i, lanes, env, demo, config,
                                          abstraction_spec, stop_spec, cancel,
-                                         deadline, plan_cache)
+                                         deadline, plan_cache, seeded)
 
     threads = [threading.Thread(target=job, args=(i, lanes), daemon=True)
                for i, lanes in enumerate(payloads)]
@@ -199,10 +226,12 @@ def _pick_context(methods):
 
 
 def _run_processes(payloads, env, demo, config, abstraction_spec,
-                   stop_spec, deadline, use_shm,
-                   dispatch) -> list[ShardOutcome]:
+                   stop_spec, deadline, use_shm, dispatch, seeded,
+                   cancel_export) -> list[ShardOutcome]:
     ctx = _pick_context(multiprocessing.get_all_start_methods())
     cancel = ProcessCancelToken(ctx)
+    if cancel_export is not None:
+        cancel_export(cancel)
     queue = ctx.SimpleQueue()
     store = cache = None
     env_payload = env
@@ -223,7 +252,7 @@ def _run_processes(payloads, env, demo, config, abstraction_spec,
                 target=_process_main,
                 args=(i, payloads[i], env_payload, demo, config,
                       abstraction_spec, stop_spec, cancel, deadline,
-                      clients[i], queue),
+                      clients[i], seeded, queue),
                 daemon=True)
             proc.start()
             return proc

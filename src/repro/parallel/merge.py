@@ -43,18 +43,33 @@ from repro.parallel.worker import (
 
 
 def replay_merge(outcomes: Sequence[ShardOutcome], config: SynthesisConfig,
-                 has_stop: bool) -> SynthesisResult:
-    """Fold shard outcomes into the serial-equivalent SynthesisResult."""
-    result = SynthesisResult()
-    stats = result.stats
-    stats.skeletons = sum(o.stats.skeletons for o in outcomes)
-    stats.max_skeleton_size = max(
-        (o.stats.max_skeleton_size for o in outcomes), default=0)
-    # Shape-prechecked skeletons are counted before the serial loop starts,
-    # so all shards' precheck rejections land up front here too.
-    shape_pruned = sum(o.shape_pruned for o in outcomes)
-    stats.visited += shape_pruned
-    stats.pruned += shape_pruned
+                 has_stop: bool,
+                 base: SynthesisResult | None = None) -> SynthesisResult:
+    """Fold shard outcomes into the serial-equivalent SynthesisResult.
+
+    ``base`` resumes the replay from a partially consumed serial search
+    (a stepped :class:`~repro.synthesis.session.SynthesisSession` that was
+    re-dispatched at a round boundary): its queries and counters are the
+    prefix the replayed continuation extends, so the budget and ``top_n``
+    cutoffs below fire against the *cumulative* state — exactly where the
+    uninterrupted serial loop would have stopped.  ``config`` is always the
+    original run's config (a resumed dispatch hands its workers a
+    remaining-budget variant, but the cutoffs here are run-wide).
+    """
+    if base is not None:
+        result = base
+        stats = result.stats
+    else:
+        result = SynthesisResult()
+        stats = result.stats
+        stats.skeletons = sum(o.stats.skeletons for o in outcomes)
+        stats.max_skeleton_size = max(
+            (o.stats.max_skeleton_size for o in outcomes), default=0)
+        # Shape-prechecked skeletons are counted before the serial loop
+        # starts, so all shards' precheck rejections land up front here too.
+        shape_pruned = sum(o.shape_pruned for o in outcomes)
+        stats.visited += shape_pruned
+        stats.pruned += shape_pruned
 
     lanes: list[LaneTrace] = sorted(
         (t for o in outcomes for t in o.traces), key=lambda t: t.lane)

@@ -94,11 +94,25 @@ class ShardPlanner:
         self.strategy = strategy
 
     def plan(self, skeletons: Sequence[ast.Query]) -> ShardPlan:
-        n = len(skeletons)
+        return self.plan_weighted(
+            [estimated_lane_cost(sk) for sk in skeletons],
+            [repr(sk) for sk in skeletons])
+
+    def plan_weighted(self, costs: Sequence[int],
+                      keys: Sequence | None = None) -> ShardPlan:
+        """Partition abstract items by per-item cost estimates.
+
+        The generalization :meth:`plan` is built on: items are whatever the
+        caller indexes — fresh skeletons there, a resumed session's live
+        lane *stacks* (whose cost is the summed estimate of their queued
+        queries) in :func:`~repro.parallel.coordinator.parallel_resume`.
+        ``keys`` breaks cost ties deterministically under ``cost_rr``;
+        item index is the fallback (stable, but position-sensitive).
+        """
+        n = len(costs)
         if n == 0:
             return ShardPlan((), ())
         n_shards = min(self.workers, n)
-        costs = [estimated_lane_cost(sk) for sk in skeletons]
         buckets: list[list[int]] = [[] for _ in range(n_shards)]
 
         if self.strategy == "chunk":
@@ -112,8 +126,10 @@ class ShardPlanner:
             for lane in range(n):
                 buckets[lane % n_shards].append(lane)
         else:  # cost_rr
-            order = sorted(range(n),
-                           key=lambda i: (-costs[i], repr(skeletons[i])))
+            if keys is None:
+                order = sorted(range(n), key=lambda i: (-costs[i], i))
+            else:
+                order = sorted(range(n), key=lambda i: (-costs[i], keys[i]))
             for deal, lane in enumerate(order):
                 buckets[deal % n_shards].append(lane)
 

@@ -86,9 +86,16 @@ def run_shard(shard_id: int, lanes, env, demo: Demonstration,
               config: SynthesisConfig, abstraction_spec: str,
               stop_spec: StopSpec | None, cancel,
               deadline: Deadline | None = None,
-              plan_cache=None) -> ShardOutcome:
+              plan_cache=None, seeded: bool = False) -> ShardOutcome:
     """Search ``lanes`` — ``(lane_id, skeleton)`` pairs in ascending
     canonical order — to the shard-local stopping point.
+
+    With ``seeded=True`` the lanes arrive as ``(lane_id, stack)`` pairs —
+    live worklist stacks exported from a partially stepped
+    :class:`~repro.synthesis.session.SynthesisSession` at a round
+    boundary.  Seeded lanes skip skeleton admission (they were admitted,
+    and counted, when the session first seeded them) and resume exactly
+    where the serial loop paused.
 
     ``cancel`` is the executor's shared cancel token (``limit()`` /
     ``propose(round)``); pass an unlimited token for independent runs.
@@ -126,17 +133,26 @@ def run_shard(shard_id: int, lanes, env, demo: Demonstration,
 
     outcome = ShardOutcome(shard_id)
     stats = outcome.stats
-    stats.skeletons = len(lanes)
 
     # Seed this shard's lanes (ascending canonical order).
     active: list[tuple[LaneTrace, list[ast.Query]]] = []
-    for lane_id, skeleton in lanes:
-        if admit_skeleton(skeleton, demo, config, stats) is None:
-            outcome.shape_pruned += 1
-            continue
-        trace = LaneTrace(lane_id)
-        outcome.traces.append(trace)
-        active.append((trace, [skeleton]))
+    if seeded:
+        # Resumed stacks: admission (and the skeleton count) happened when
+        # the session originally seeded these lanes; the merge's cumulative
+        # base already carries it.
+        for lane_id, stack in lanes:
+            trace = LaneTrace(lane_id)
+            outcome.traces.append(trace)
+            active.append((trace, list(stack)))
+    else:
+        stats.skeletons = len(lanes)
+        for lane_id, skeleton in lanes:
+            if admit_skeleton(skeleton, demo, config, stats) is None:
+                outcome.shape_pruned += 1
+                continue
+            trace = LaneTrace(lane_id)
+            outcome.traces.append(trace)
+            active.append((trace, [skeleton]))
 
     round_no = 0
     stopping = False

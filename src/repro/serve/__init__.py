@@ -1,0 +1,23 @@
+"""Synthesis-as-a-service: a persistent warm worker pool
+(:mod:`repro.serve.pool`) under an asyncio front-end
+(:mod:`repro.serve.service`).
+
+Layering: sits beside :mod:`repro.experiments`, above
+:mod:`repro.synthesis` — requests are
+:class:`~repro.synthesis.session.SynthesisSession` objects, and the pool
+reuses the cross-shard sub-plan cache from :mod:`repro.parallel`.
+"""
+
+from repro.serve.pool import PoolWorker, WorkerPool, warm_key
+from repro.serve.service import (
+    RequestHandle,
+    ServiceConfig,
+    ServiceOverloaded,
+    SynthesisService,
+)
+
+__all__ = [
+    "WorkerPool", "PoolWorker", "warm_key",
+    "SynthesisService", "ServiceConfig", "ServiceOverloaded",
+    "RequestHandle",
+]

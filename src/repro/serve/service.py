@@ -1,0 +1,266 @@
+"""Asyncio synthesis-as-a-service front-end over the warm worker pool.
+
+The paper's interaction model is a service loop: a user supplies a partial
+computation demonstration, gets ranked analytical SQL back, refines, and
+asks again.  :class:`SynthesisService` makes that loop first-class:
+
+* every request becomes a :class:`~repro.synthesis.session.
+  SynthesisSession` pinned to one pool worker and advanced in bounded
+  *slices* (``slice_pops`` pops per turn, re-enqueued behind the worker's
+  other requests — cooperative round-robin, so one giant search cannot
+  monopolize a worker);
+* consistent queries stream to the caller the moment a slice surfaces
+  them (:meth:`RequestHandle.stream`), with the full ranked result at
+  :meth:`RequestHandle.result`;
+* admission control bounds the number of live requests
+  (:class:`ServiceOverloaded` instead of an unbounded backlog);
+* each request carries its own wall-clock budget, and
+  :meth:`RequestHandle.cancel` stops the session at its next pop — the
+  same flag that, were the session re-dispatched onto shard workers,
+  propagates through the executor's shared cancel token.
+
+Determinism: slicing is pure preemption — a request's ranked queries and
+``SearchStats`` are byte-identical to an uninterrupted serial run of the
+same session (the session's pledge), whichever worker it lands on and
+however its slices interleave with other requests.  What the pool's warm
+state changes is *latency only*; the per-request ``engine_stats`` deltas
+stay exact.
+
+Thread topology: the event loop owns admission, futures and streams;
+pool worker threads own every synthesis step and talk back only through
+``loop.call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.lang import ast
+from repro.provenance.demo import Demonstration
+from repro.serve.pool import WorkerPool
+from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.enumerator import SynthesisResult
+from repro.synthesis.session import SynthesisSession
+from repro.synthesis.stop import StopSpec, as_stop_spec
+from repro.table.table import Table
+from repro.util.timer import Deadline
+
+#: End-of-stream marker on a request's query stream.
+_EOS = object()
+
+# Request lifecycle states (RequestHandle.status).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+CANCELLED = "cancelled"
+TIMED_OUT = "timed_out"
+
+
+class ServiceOverloaded(RuntimeError):
+    """Admission rejected: the service is at its live-request bound."""
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Service-level knobs (request-level knobs ride in SynthesisConfig)."""
+
+    pool_size: int = 2          # warm workers
+    max_requests: int = 8       # live (admitted, unfinished) request bound
+    slice_pops: int = 500       # preemption granularity, pops per slice
+    default_timeout_s: float | None = None   # per-request budget fallback
+
+    def __post_init__(self) -> None:
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if self.max_requests < 1:
+            raise ValueError("max_requests must be >= 1")
+        if self.slice_pops < 1:
+            raise ValueError("slice_pops must be >= 1")
+
+
+class _Request:
+    """Loop-side bookkeeping for one admitted request."""
+
+    def __init__(self, session: SynthesisSession, worker_id: int,
+                 deadline: Deadline,
+                 loop: asyncio.AbstractEventLoop) -> None:
+        self.session = session
+        self.worker_id = worker_id
+        self.deadline = deadline
+        self.future: asyncio.Future = loop.create_future()
+        self.stream_queue: asyncio.Queue = asyncio.Queue()
+        self.state = QUEUED
+
+
+class RequestHandle:
+    """The caller's view of one in-flight synthesis request."""
+
+    def __init__(self, request: _Request) -> None:
+        self._request = request
+
+    @property
+    def status(self) -> str:
+        return self._request.state
+
+    @property
+    def worker_id(self) -> int:
+        return self._request.worker_id
+
+    @property
+    def session(self) -> SynthesisSession:
+        return self._request.session
+
+    async def result(self) -> SynthesisResult:
+        """The ranked result; resolves when the session ends (found its
+        queries, exhausted, budget expired, or cancelled — the result's
+        stats say which)."""
+        return await asyncio.shield(self._request.future)
+
+    async def stream(self):
+        """Async-iterate consistent queries in discovery order, ending
+        when the request does.  First hit arrives mid-search — the
+        stream-first-refine-later interaction the session API exists for.
+        """
+        while True:
+            item = await self._request.stream_queue.get()
+            if item is _EOS:
+                return
+            yield item
+
+    def cancel(self) -> None:
+        """Stop the session at its next pop; the (partial, ranked) result
+        still resolves."""
+        self._request.session.cancel()
+
+
+class SynthesisService:
+    """The asyncio front-end; use as an async context manager.
+
+    ``async with SynthesisService() as svc:`` then ``svc.submit(...)``
+    from coroutines running on the same event loop.  A caller-supplied
+    ``pool`` survives the service (warm state persists across service
+    restarts); an owned pool is closed with it.
+    """
+
+    def __init__(self, config: ServiceConfig | None = None,
+                 pool: WorkerPool | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.pool = pool if pool is not None \
+            else WorkerPool(self.config.pool_size)
+        self._own_pool = pool is None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._live: set[_Request] = set()
+        self._next_worker = 0
+        self._closed = False
+
+    # --------------------------------------------------------- lifecycle
+    async def __aenter__(self) -> "SynthesisService":
+        self._loop = asyncio.get_running_loop()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()
+
+    async def close(self) -> None:
+        """Stop admitting, cancel live requests, drain the pool."""
+        self._closed = True
+        for request in list(self._live):
+            request.session.cancel()
+        if self._live:
+            await asyncio.gather(
+                *(request.future for request in self._live),
+                return_exceptions=True)
+        if self._own_pool:
+            self.pool.close()
+
+    # --------------------------------------------------------- admission
+    def submit(self, tables: Sequence[Table] | ast.Env, demo: Demonstration,
+               config: SynthesisConfig | None = None,
+               stop: StopSpec | None = None,
+               timeout_s: float | None = None,
+               worker: int | None = None,
+               technique: str = "provenance") -> RequestHandle:
+        """Admit one synthesis request; returns immediately.
+
+        ``worker`` pins the request to a pool worker (tests and
+        schema-affinity routing); default assignment is round-robin.
+        ``timeout_s`` (or the service default) is the request's wall-clock
+        budget from admission — covering queueing, unlike the config's
+        ``timeout_s``, which meters active search time only.  Requests run
+        serial slices on their worker: ``config.workers`` is forced to 1
+        (cross-request parallelism is the service's axis; drive a
+        session yourself for intra-request sharding).
+
+        Raises :class:`ServiceOverloaded` when ``max_requests`` requests
+        are already live — callers retry with backoff, the paper's
+        interactive loop degrading gracefully instead of queueing without
+        bound.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        if len(self._live) >= self.config.max_requests:
+            raise ServiceOverloaded(
+                f"{len(self._live)} live requests (bound "
+                f"{self.config.max_requests}); retry later")
+        cfg = config or SynthesisConfig()
+        if cfg.workers != 1:
+            cfg = cfg.replace(workers=1)
+        session = SynthesisSession(tables, demo, cfg, abstraction=technique,
+                                   stop=as_stop_spec(stop))
+        if worker is None:
+            worker = self._next_worker % self.pool.size
+            self._next_worker += 1
+        elif not 0 <= worker < self.pool.size:
+            raise ValueError(f"worker {worker} out of range "
+                             f"[0, {self.pool.size})")
+        budget = timeout_s if timeout_s is not None \
+            else self.config.default_timeout_s
+        request = _Request(session, worker, Deadline(budget), self._loop)
+        self._live.add(request)
+        self.pool.submit(worker, lambda: self._advance(request))
+        return RequestHandle(request)
+
+    # ------------------------------------------------------- worker side
+    def _advance(self, request: _Request) -> None:
+        """One slice of one request, on its pool worker's thread."""
+        session = request.session
+        loop = self._loop
+        if request.state == QUEUED:
+            request.state = RUNNING
+        timed_out = request.deadline.expired() and not session.done
+        if timed_out:
+            # The request's wall-clock budget (queueing included) is the
+            # service-level analogue of the config timeout: report the
+            # partial result with the same timed_out marker.
+            session.stats.timed_out = True
+        else:
+            worker = self.pool.worker(request.worker_id)
+            engine, abstraction = worker.engine_for(
+                session.config, session.abstraction_spec)
+            session.attach_engine(engine, abstraction)
+            report = session.step(max_pops=self.config.slice_pops)
+            for query in report.new_queries:
+                loop.call_soon_threadsafe(
+                    request.stream_queue.put_nowait, query)
+        if session.done or timed_out:
+            result = session.result()
+            state = TIMED_OUT if timed_out else (
+                CANCELLED if session.status == "cancelled" else DONE)
+            loop.call_soon_threadsafe(self._finalize, request, result, state)
+        else:
+            # Back of this worker's queue: other live requests pinned here
+            # get their slice before our next one.
+            self.pool.submit(request.worker_id,
+                             lambda: self._advance(request))
+
+    def _finalize(self, request: _Request, result: SynthesisResult,
+                  state: str) -> None:
+        request.state = state
+        self._live.discard(request)
+        if not request.future.done():
+            request.future.set_result(result)
+        request.stream_queue.put_nowait(_EOS)

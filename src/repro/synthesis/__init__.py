@@ -10,6 +10,7 @@ from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.enumerator import SearchStats, SynthesisResult, enumerate_queries
 from repro.synthesis.equivalence import same_output
 from repro.synthesis.ranking import rank_queries
+from repro.synthesis.session import CHECKPOINT_VERSION, StepReport, SynthesisSession
 from repro.synthesis.skeletons import construct_skeletons
 from repro.synthesis.stop import (
     CallableStop,
@@ -21,6 +22,7 @@ from repro.synthesis.synthesizer import Synthesizer, build_abstraction, synthesi
 
 __all__ = [
     "SynthesisConfig", "Synthesizer", "synthesize", "build_abstraction",
+    "SynthesisSession", "StepReport", "CHECKPOINT_VERSION",
     "SearchStats", "SynthesisResult", "enumerate_queries",
     "construct_skeletons", "rank_queries", "same_output",
     "StopSpec", "GroundTruthStop", "CallableStop", "as_stop_spec",

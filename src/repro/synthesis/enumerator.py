@@ -19,7 +19,7 @@ from dataclasses import dataclass, field, fields
 from collections.abc import Callable
 
 from repro.abstraction.base import Abstraction
-from repro.engine.base import EngineStats, EvalEngine, make_engine
+from repro.engine.base import EvalEngine
 from repro.lang import ast
 from repro.lang.holes import fill, first_hole, is_concrete
 from repro.lang.size import operator_count
@@ -27,8 +27,6 @@ from repro.provenance.demo import Demonstration
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.domains import hole_domain
 from repro.synthesis.shape import shape_feasible
-from repro.synthesis.skeletons import construct_skeletons
-from repro.util.timer import Deadline, Stopwatch
 
 
 class _Worklist:
@@ -114,6 +112,59 @@ class _Worklist:
         if self.strategy in ("bfs", "dfs"):
             return bool(self._fifo)
         return self._count > 0
+
+    # ---------------------------------------------- checkpoint/resume hooks
+    # The methods below exist for :class:`~repro.synthesis.session.
+    # SynthesisSession`: a checkpointed search must be serializable and a
+    # preempted one re-dispatchable onto sharded workers, which requires
+    # aligning the round-robin cursor to a *round boundary* (the worker /
+    # replay-merge machinery is round-based; see repro.parallel.merge).
+
+    def purge_drained(self) -> None:
+        """Eagerly drop drained ``sized_dfs`` lanes.
+
+        The serial ``pop`` drops a drained lane lazily, on next encounter;
+        dropping it early is invisible to the pop sequence (a dead lane
+        yields nothing either way), but the cursor must be re-based onto
+        the surviving lanes so the next pop lands where it would have.
+        """
+        if self.strategy != "sized_dfs":
+            return
+        kept: list[int] = []
+        removed_before = 0
+        for pos, lane in enumerate(self._order):
+            if self._stacks[lane]:
+                kept.append(lane)
+            else:
+                del self._stacks[lane]
+                if pos < self._rr:
+                    removed_before += 1
+        self._order = kept
+        self._rr = (self._rr - removed_before) % len(kept) if kept else 0
+
+    def at_round_boundary(self) -> bool:
+        """True when the next pop starts a fresh round-robin cycle.
+
+        From a round boundary, the remaining serial visit order is exactly
+        "every live lane once per round, lanes in seed order" — the
+        premise the sharded workers' round-explicit loop and the replay
+        merge are built on, and therefore the only state a partially
+        consumed worklist may be dispatched to shard workers from.
+        """
+        if self.strategy != "sized_dfs":
+            return True
+        self.purge_drained()
+        return self._rr == 0
+
+    def export_lanes(self) -> list[tuple[int, list[ast.Query]]]:
+        """Snapshot the live lanes as ``(lane_id, stack)`` pairs, seed order.
+
+        Stacks are copies: the worklist keeps working after a checkpoint,
+        and an exported payload crossing a process boundary must not alias
+        live state.
+        """
+        self.purge_drained()
+        return [(lane, list(self._stacks[lane])) for lane in self._order]
 
 
 @dataclass
@@ -279,7 +330,7 @@ def enumerate_queries(
         stop_predicate: Callable[[ast.Query], bool] | None = None,
         engine: EvalEngine | None = None,
 ) -> SynthesisResult:
-    """Run Algorithm 1.
+    """Run Algorithm 1 (one uninterrupted session).
 
     Without ``stop_predicate``, the search stops after ``config.top_n``
     consistent queries (the tool's interactive mode).  With it, the search
@@ -289,55 +340,20 @@ def enumerate_queries(
     All evaluation goes through ``engine`` (built from ``config.backend``
     when not supplied); the abstraction is bound to the same engine so the
     whole run shares one set of subtree caches.
+
+    The loop itself lives in :class:`~repro.synthesis.session.
+    SynthesisSession`; this wrapper drives a session to completion in one
+    unbounded ``step`` — the anchor of the determinism pledge (a stepped /
+    checkpointed / resumed session must match this, byte for byte).
+    Queries come back in discovery order, exactly as the classic loop
+    yielded them; recorded ``engine_stats`` cover this run's traffic only
+    (a snapshot: later runs on a shared engine must not make it drift).
     """
-    if engine is None:
-        engine = make_engine(config.backend)
-        abstraction.bind_engine(engine)
-    watch = Stopwatch()
-    deadline = Deadline(config.timeout_s)
-    result = SynthesisResult()
-    stats = result.stats
+    from repro.synthesis.session import SynthesisSession
 
-    worklist = _Worklist(config.strategy)
-    skeletons = construct_skeletons(env, config)
-    stats.skeletons = len(skeletons)
-    for skeleton in skeletons:
-        size = admit_skeleton(skeleton, demo, config, stats)
-        if size is None:
-            continue
-        worklist.add_lane(skeleton, size)
-
-    while worklist:
-        if deadline.expired():
-            stats.timed_out = True
-            break
-        if config.max_visited is not None and stats.visited >= config.max_visited:
-            stats.timed_out = True
-            break
-        size, lane_id, query = worklist.pop()
-        outcome, expansions = process_pop(query, env, demo, config,
-                                          abstraction, engine, stats)
-        if outcome is POP_CONSISTENT:
-            result.queries.append(query)
-            if stop_predicate is not None and stop_predicate(query):
-                result.target = query
-                result.target_rank = len(result.queries)
-                break
-            if stop_predicate is None and \
-                    stats.consistent_found >= config.top_n:
-                break
-        elif outcome is POP_EXPANDED:
-            # Reversed for LIFO lanes: candidates explored in domain order.
-            if config.strategy == "bfs":
-                for expansion in expansions:
-                    worklist.push(expansion, size, lane_id)
-            else:
-                for expansion in reversed(expansions):
-                    worklist.push(expansion, size, lane_id)
-
-    stats.elapsed_s = watch.elapsed()
-    # Snapshot, not the live object: the engine keeps counting across later
-    # runs, and a result's recorded cache traffic must not drift with it
-    # (the sharded path likewise returns a merged snapshot).
-    result.engine_stats = EngineStats(**engine.stats.as_dict())
-    return result
+    session = SynthesisSession(env, demo, config, abstraction=abstraction,
+                               stop=stop_predicate)
+    if engine is not None:
+        session.attach_engine(engine, abstraction)
+    session.step()
+    return session.result(ranked=False)

@@ -28,8 +28,8 @@ from repro.engine.base import EvalEngine, make_engine, resolve_backend
 from repro.lang.ast import Env, Query
 from repro.provenance.demo import Demonstration
 from repro.synthesis.config import SynthesisConfig
-from repro.synthesis.enumerator import SynthesisResult, enumerate_queries
-from repro.synthesis.ranking import rank_queries
+from repro.synthesis.enumerator import SynthesisResult
+from repro.synthesis.session import SynthesisSession
 from repro.synthesis.stop import StopSpec, as_stop_spec
 from repro.table.table import Table
 
@@ -78,50 +78,54 @@ class Synthesizer:
     def run(self, tables: Sequence[Table], demo: Demonstration,
             stop_predicate: Callable[[Query], bool] | StopSpec | None = None,
             config: SynthesisConfig | None = None) -> SynthesisResult:
-        env = Env(tuple(tables))
-        cfg = config or self.config
-        if cfg.workers > 1:
-            result = self._run_sharded(env, demo, stop_predicate, cfg)
-        else:
-            result = self._run_serial(env, demo, stop_predicate, cfg)
-        result.queries = rank_queries(result.queries)
-        return result
+        session = self.session(tables, demo, stop_predicate, config)
+        try:
+            return session.run()
+        finally:
+            # A per-run backend override evaluated on a temporary engine;
+            # rebind the technique to the synthesizer's own for next run.
+            self.abstraction.bind_engine(self.engine)
 
-    def _run_serial(self, env: Env, demo: Demonstration,
-                    stop_predicate, cfg: SynthesisConfig) -> SynthesisResult:
+    def session(self, tables: Sequence[Table] | Env, demo: Demonstration,
+                stop: Callable[[Query], bool] | StopSpec | None = None,
+                config: SynthesisConfig | None = None) -> SynthesisSession:
+        """Open a resumable :class:`SynthesisSession` on this synthesizer.
+
+        A serial session evaluates through this synthesizer's engine (so
+        repeated sessions over the same tables reuse warm caches) — unless
+        ``config`` overrides the backend, in which case the session gets a
+        fresh engine of the requested kind and the synthesizer's own is
+        untouched.  A ``workers > 1`` session dispatches to shard workers
+        at ``run`` time, each building its own engine from the config.
+        """
+        env = tables if isinstance(tables, Env) else Env(tuple(tables))
+        cfg = config or self.config
+        session = SynthesisSession(
+            env, demo, cfg,
+            abstraction=self.abstraction_spec or self.abstraction,
+            stop=as_stop_spec(stop))
+        if cfg.workers > 1:
+            if self.abstraction_spec is None:
+                raise ValueError(
+                    "workers > 1 requires the abstraction to be given by "
+                    "name (workers rebuild it per shard); pass e.g. "
+                    "'provenance' instead of a pre-built Abstraction object")
+            if self._engine_supplied:
+                raise ValueError(
+                    "workers > 1 cannot use an explicitly supplied engine — "
+                    "each worker builds its own from config.backend; drop "
+                    "the engine argument (or set backend) instead")
+            return session
         engine = self.engine
         if resolve_backend(cfg.backend) != engine.name:
-            # Honor a per-run backend override: this run evaluates on a
+            # Honor a per-run backend override: this session evaluates on a
             # fresh engine of the requested kind (session caches stay with
             # the synthesizer's own engine).  Comparison is on *resolved*
             # names so a "numpy" config degraded to the columnar fallback
             # keeps its session engine instead of rebuilding every run.
             engine = make_engine(cfg.backend)
-            self.abstraction.bind_engine(engine)
-        if isinstance(stop_predicate, StopSpec):
-            stop_predicate = stop_predicate.build(engine, env)
-        try:
-            return enumerate_queries(env, demo, cfg, self.abstraction,
-                                     stop_predicate, engine=engine)
-        finally:
-            if engine is not self.engine:
-                self.abstraction.bind_engine(self.engine)
-
-    def _run_sharded(self, env: Env, demo: Demonstration,
-                     stop_predicate, cfg: SynthesisConfig) -> SynthesisResult:
-        from repro.parallel import parallel_enumerate
-        if self.abstraction_spec is None:
-            raise ValueError(
-                "workers > 1 requires the abstraction to be given by name "
-                "(workers rebuild it per shard); pass e.g. 'provenance' "
-                "instead of a pre-built Abstraction object")
-        if self._engine_supplied:
-            raise ValueError(
-                "workers > 1 cannot use an explicitly supplied engine — "
-                "each worker builds its own from config.backend; drop the "
-                "engine argument (or set backend) instead")
-        return parallel_enumerate(env, demo, cfg, self.abstraction_spec,
-                                  as_stop_spec(stop_predicate))
+        session.attach_engine(engine, self.abstraction)
+        return session
 
     def reset(self) -> None:
         """Clear this session's evaluation caches (between experiment runs).

@@ -1,0 +1,268 @@
+"""Serving-layer tests: warm pool, asyncio service, admission control.
+
+The service's pledge is the session's pledge plus scheduling: slicing,
+worker placement and warm engines change latency only — every request's
+ranked queries and ``SearchStats`` are byte-identical to an uninterrupted
+serial run.  The asyncio legs run under ``asyncio.run`` (no plugin).
+"""
+
+import asyncio
+
+import pytest
+
+from repro.benchmarks import all_tasks
+from repro.serve import (
+    ServiceConfig,
+    ServiceOverloaded,
+    SynthesisService,
+    WorkerPool,
+    warm_key,
+)
+from repro.synthesis import GroundTruthStop, SynthesisConfig, Synthesizer
+
+TASKS = {t.name: t for t in all_tasks()}
+
+#: Easy task for fast parity legs.
+EASY = TASKS["fe01_total_sales_per_region"]
+#: Hard task whose search outlasts any budget used here — the one to
+#: keep in flight while testing admission, cancellation and timeouts.
+HARD = TASKS["fh02_region_quarter_share"]
+#: The registry task whose concrete sub-plans are cross-request-cache
+#: eligible (multi-operator blocks that repeat across candidates).
+SHARED = TASKS["fe20_share_of_region_total"]
+
+VISITED_BUDGET = 400
+
+DETERMINISTIC_FIELDS = ("visited", "pruned", "expanded", "concrete_checked",
+                        "consistent_found", "timed_out", "skeletons",
+                        "max_skeleton_size")
+
+
+def _config(task, budget=VISITED_BUDGET, **overrides):
+    return task.config.replace(timeout_s=None, max_visited=budget,
+                               **overrides)
+
+
+def _reference(task, config, stop=None):
+    return Synthesizer("provenance", config).run(
+        task.tables, task.demonstration, stop)
+
+
+def _assert_identical(reference, result):
+    assert result.queries == reference.queries
+    for field in DETERMINISTIC_FIELDS:
+        assert getattr(result.stats, field) == \
+            getattr(reference.stats, field), field
+    assert result.target == reference.target
+
+
+def test_request_matches_uninterrupted_run():
+    """Sliced, pool-scheduled execution is pure preemption: byte-identical
+    ranked queries and stats versus the classic serial run."""
+    async def main():
+        svc_cfg = ServiceConfig(pool_size=2, slice_pops=50)
+        async with SynthesisService(svc_cfg) as svc:
+            for task in (EASY, HARD):
+                config = _config(task)
+                stop = GroundTruthStop(task.ground_truth)
+                reference = _reference(task, config, stop)
+                handle = svc.submit(task.tables, task.demonstration,
+                                    config, stop=stop)
+                result = await handle.result()
+                _assert_identical(reference, result)
+                assert handle.status == "done"
+
+    asyncio.run(main())
+
+
+def test_stream_yields_hits_in_discovery_order():
+    async def main():
+        async with SynthesisService(ServiceConfig(slice_pops=25)) as svc:
+            config = _config(EASY, top_n=10)
+            handle = svc.submit(EASY.tables, EASY.demonstration, config)
+            streamed = [query async for query in handle.stream()]
+            result = await handle.result()
+            assert len(streamed) == result.stats.consistent_found
+            # Discovery order upstream of ranking: same multiset.
+            assert sorted(map(repr, streamed)) == \
+                sorted(map(repr, result.queries))
+
+    asyncio.run(main())
+
+
+def test_admission_rejects_at_bound_and_recovers():
+    async def main():
+        svc_cfg = ServiceConfig(pool_size=1, max_requests=1, slice_pops=50)
+        async with SynthesisService(svc_cfg) as svc:
+            config = _config(HARD, budget=10**6, top_n=10**6)
+            first = svc.submit(HARD.tables, HARD.demonstration, config,
+                               worker=0)
+            with pytest.raises(ServiceOverloaded, match="retry later"):
+                svc.submit(HARD.tables, HARD.demonstration, config)
+            first.cancel()
+            await first.result()
+            assert first.status == "cancelled"
+            # The slot freed up: admission works again.
+            retry = svc.submit(EASY.tables, EASY.demonstration,
+                               _config(EASY))
+            await retry.result()
+            assert retry.status == "done"
+
+    asyncio.run(main())
+
+
+def test_per_request_timeout_reports_timed_out():
+    """The request budget is wall clock from admission (queueing included)
+    — an already-expired deadline surfaces as a TIMED_OUT partial result
+    with the classic stats marker, before any search runs."""
+    async def main():
+        async with SynthesisService(ServiceConfig(pool_size=1)) as svc:
+            config = _config(HARD, budget=10**6, top_n=10**6)
+            handle = svc.submit(HARD.tables, HARD.demonstration, config,
+                                timeout_s=1e-9)
+            result = await handle.result()
+            assert handle.status == "timed_out"
+            assert result.stats.timed_out
+
+    asyncio.run(main())
+
+
+def test_cancel_mid_flight_returns_partial_result():
+    async def main():
+        async with SynthesisService(ServiceConfig(slice_pops=20)) as svc:
+            config = _config(HARD, budget=10**6, top_n=10**6)
+            handle = svc.submit(HARD.tables, HARD.demonstration, config)
+            # Let a few slices land, then pull the plug.
+            while handle.session.stats.visited < 100:
+                await asyncio.sleep(0.001)
+            handle.cancel()
+            result = await handle.result()
+            assert handle.status == "cancelled"
+            assert result.stats.visited < 10**6
+            assert result.target is None
+
+    asyncio.run(main())
+
+
+def test_warm_worker_reuses_engine_and_shares_plans():
+    """The pool's two latency tiers: same worker + same request shape
+    reuses the warm engine outright; a *different* worker's fresh engine
+    still gets cross-request sub-plan hits from the pool-wide cache."""
+    async def main():
+        pool = WorkerPool(2)
+        async with SynthesisService(pool=pool) as svc:
+            config = _config(SHARED)
+            cold = svc.submit(SHARED.tables, SHARED.demonstration, config,
+                              worker=0)
+            first = await cold.result()
+            assert first.engine_stats.cross_shard_hits == 0
+
+            # Same worker, same shape: engine served warm from the cache.
+            warm = svc.submit(SHARED.tables, SHARED.demonstration, config,
+                              worker=0)
+            second = await warm.result()
+            _assert_identical(first, second)
+            assert pool.worker(0).warm_hits >= 1
+
+            # Other worker, fresh engine: the pool-wide sub-plan cache
+            # serves blocks the first request published.
+            other = svc.submit(SHARED.tables, SHARED.demonstration, config,
+                               worker=1)
+            third = await other.result()
+            _assert_identical(first, third)
+            assert third.engine_stats.cross_shard_hits >= 1
+
+            telemetry = pool.telemetry()
+            assert telemetry["cold_builds"] == 2    # one per worker
+            assert telemetry["warm_hits"] >= 1
+            assert telemetry["warm_keys"] == 2
+        pool.close()
+
+    asyncio.run(main())
+
+
+def test_warm_key_ignores_budgets_but_splits_techniques():
+    base = SynthesisConfig()
+    assert warm_key(base, "provenance") == \
+        warm_key(base.replace(max_visited=7, top_n=3), "provenance")
+    assert warm_key(base, "provenance") != warm_key(base, "value")
+    # A numpy request degraded to the fallback shares that warm engine.
+    from repro.engine.base import resolve_backend
+    if resolve_backend("numpy") == resolve_backend("columnar"):
+        assert warm_key(base.replace(backend="numpy"), "provenance") == \
+            warm_key(base.replace(backend="columnar"), "provenance")
+
+
+def test_submit_forces_serial_sessions_and_validates_worker():
+    async def main():
+        async with SynthesisService(ServiceConfig(pool_size=2)) as svc:
+            handle = svc.submit(EASY.tables, EASY.demonstration,
+                                _config(EASY, workers=4,
+                                        parallel_executor="thread"))
+            assert handle.session.config.workers == 1
+            await handle.result()
+            with pytest.raises(ValueError, match="out of range"):
+                svc.submit(EASY.tables, EASY.demonstration, worker=2)
+
+    asyncio.run(main())
+
+
+def test_close_cancels_live_requests_and_stops_admission():
+    async def main():
+        svc = SynthesisService(ServiceConfig(pool_size=1, slice_pops=20))
+        async with svc:
+            config = _config(HARD, budget=10**6, top_n=10**6)
+            handle = svc.submit(HARD.tables, HARD.demonstration, config)
+        # __aexit__ → close(): the live request was cancelled and resolved.
+        assert handle.status == "cancelled"
+        with pytest.raises(RuntimeError, match="closed"):
+            svc.submit(EASY.tables, EASY.demonstration)
+
+    asyncio.run(main())
+
+
+def test_caller_supplied_pool_survives_service():
+    """Warm state persists across service restarts when the caller owns
+    the pool — the whole point of decoupling pool and service lifetime."""
+    async def main():
+        pool = WorkerPool(1)
+        async with SynthesisService(pool=pool) as svc:
+            await svc.submit(SHARED.tables, SHARED.demonstration,
+                             _config(SHARED), worker=0).result()
+        built = pool.telemetry()["cold_builds"]
+        assert built == 1
+        # New service, same pool: the engine is already warm.
+        async with SynthesisService(pool=pool) as svc:
+            await svc.submit(SHARED.tables, SHARED.demonstration,
+                             _config(SHARED), worker=0).result()
+        telemetry = pool.telemetry()
+        assert telemetry["cold_builds"] == built
+        assert telemetry["warm_hits"] >= 1
+        pool.close()
+        pool.close()                    # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(0, lambda: None)
+
+    asyncio.run(main())
+
+
+def test_slices_interleave_requests_on_one_worker():
+    """Cooperative round-robin: two requests pinned to one worker make
+    progress together instead of head-of-line blocking."""
+    async def main():
+        svc_cfg = ServiceConfig(pool_size=1, slice_pops=10)
+        async with SynthesisService(svc_cfg) as svc:
+            config = _config(HARD, budget=3000, top_n=10**6)
+            left = svc.submit(HARD.tables, HARD.demonstration, config,
+                              worker=0)
+            right = svc.submit(HARD.tables, HARD.demonstration, config,
+                               worker=0)
+            # Wait until both have run at least one slice.
+            while min(left.session.stats.visited,
+                      right.session.stats.visited) < 50:
+                await asyncio.sleep(0.001)
+            assert left.status == "running" and right.status == "running"
+            results = await asyncio.gather(left.result(), right.result())
+            _assert_identical(results[0], results[1])
+
+    asyncio.run(main())

@@ -8,9 +8,11 @@ checker vs naive Definition 1 on consistency-heavy tasks), numpy
 and tracking; recorded as unavailable without NumPy), parallel
 (sharded vs serial on forum-hard experiment mode), dispatch
 (shared-memory handle vs pickled-table payload bytes, plus the
-skewed-lane imbalance of static shard planning) and serve (warm-pool
-vs cold request latency on repeated-schema service traffic) — and
-records their timings plus environment metadata as one JSON document.  The nightly
+skewed-lane imbalance of static shard planning), serve (warm-pool
+vs cold request latency on repeated-schema service traffic) and pool
+(thread-tier vs process-tier aggregate throughput for concurrent
+CPU-bound requests) — and records their timings plus environment
+metadata as one JSON document.  The nightly
 ``perf.yml`` workflow uploads these as artifacts, giving the repo a
 queryable performance history; ratios are recorded, never asserted
 (assertion lives in the pytest benchmarks).
@@ -20,6 +22,7 @@ Usage::
     PYTHONPATH=src python benchmarks/perf_snapshot.py [--out FILE]
         [--engine-rounds N] [--tracking-rounds N] [--consistency-rounds N]
         [--numpy-rounds N] [--parallel-rounds N] [--serve-pairs N]
+        [--pool-budget N]
 """
 
 from __future__ import annotations
@@ -184,6 +187,27 @@ def serve_snapshot(pairs: int) -> dict:
     }
 
 
+def pool_snapshot(budget: int) -> dict:
+    """Thread-tier vs process-tier aggregate throughput for concurrent
+    CPU-bound requests — the process tier's reason to exist, recorded
+    with the core count so sub-4-core trajectory points (where the GIL
+    comparison is meaningless and the pytest gate skips) are legible.
+    """
+    cores = os.cpu_count() or 1
+    m = serve_bench.concurrency_measurements(budget)
+    return {
+        "task": serve_bench.CONCURRENT_TASK,
+        "requests": m["requests"],
+        "budget": budget,
+        "cpu_cores": cores,
+        "threads_pops_per_s": round(m["threads_pops_per_s"], 1),
+        "processes_pops_per_s": round(m["processes_pops_per_s"], 1),
+        "process_speedup": round(m["process_speedup"], 3),
+        "speedup_bar": serve_bench.MIN_PROCESS_SPEEDUP,
+        "bar_gated": cores >= serve_bench.CONCURRENT_REQUESTS,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="perf_snapshot")
     parser.add_argument("--out", default=None,
@@ -195,6 +219,8 @@ def main(argv=None) -> int:
     parser.add_argument("--parallel-rounds", type=int, default=2)
     parser.add_argument("--serve-pairs", type=int,
                         default=serve_bench.PAIRS)
+    parser.add_argument("--pool-budget", type=int,
+                        default=serve_bench.CONCURRENT_BUDGET)
     args = parser.parse_args(argv)
 
     date = time.strftime("%Y-%m-%d", time.gmtime())
@@ -213,6 +239,7 @@ def main(argv=None) -> int:
         "parallel": parallel_snapshot(args.parallel_rounds),
         "dispatch": dispatch_snapshot(),
         "serve": serve_snapshot(args.serve_pairs),
+        "pool": pool_snapshot(args.pool_budget),
     }
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(snapshot, fh, indent=2)

@@ -19,7 +19,7 @@ Resumable sessions (checkpoint, stream, cancel)::
     blob = session.checkpoint()               # picklable; resume anywhere
     result = SynthesisSession.resume(blob).run()
 
-Synthesis-as-a-service (warm pool + asyncio front-end)::
+Synthesis-as-a-service (warm worker tier + asyncio front-end)::
 
     from repro.api import SynthesisService, ServiceConfig
 
@@ -27,6 +27,15 @@ Synthesis-as-a-service (warm pool + asyncio front-end)::
         handle = svc.submit(tables, demo, timeout_s=5.0)
         async for query in handle.stream(): ...
         result = await handle.result()
+
+The worker tier is pluggable: ``pool_backend="threads"`` shares the
+caller's GIL, ``"processes"`` hosts sessions in long-lived worker
+processes fed over the shared-memory column store (the default for
+pools larger than one worker; ``REPRO_POOL_BACKEND`` overrides).
+Requests route by schema affinity — repeated-schema traffic lands on
+already-warm workers — and a request whose config asks for
+``workers > 1`` fans out onto shard workers when the pool has idle
+capacity.  Results are byte-identical across tiers.
 
 Engines are explicit when you want them (``make_engine("numpy")``) and
 implicit otherwise (``config.backend`` selects one per run).
@@ -38,11 +47,13 @@ from repro.engine.base import EvalEngine, make_engine, resolve_backend
 from repro.lang.ast import Env
 from repro.provenance.demo import Demonstration
 from repro.serve import (
+    POOL_BACKENDS,
     RequestHandle,
     ServiceConfig,
     ServiceOverloaded,
     SynthesisService,
     WorkerPool,
+    resolve_pool_backend,
 )
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.enumerator import SearchStats, SynthesisResult
@@ -64,7 +75,7 @@ __all__ = [
     "SynthesisSession", "StepReport",
     # serving layer
     "SynthesisService", "ServiceConfig", "ServiceOverloaded",
-    "RequestHandle", "WorkerPool",
+    "RequestHandle", "WorkerPool", "POOL_BACKENDS", "resolve_pool_backend",
     # stop predicates
     "StopSpec", "GroundTruthStop", "CallableStop", "as_stop_spec",
     # engines & data

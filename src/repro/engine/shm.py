@@ -360,6 +360,20 @@ class Attachment:
             self._segments[name] = seg
         return seg
 
+    def discard(self, name: str) -> None:
+        """Detach one segment if attached (idempotent; never unlinks).
+
+        Long-lived consumers — a serving pool's worker process memoizes
+        one attached environment per segment — use this to drop mappings
+        for evicted entries without tearing down the whole attachment.
+        """
+        seg = self._segments.pop(name, None)
+        if seg is not None:
+            try:
+                seg.close()
+            except BufferError:     # pragma: no cover - view still aliased
+                pass
+
     def close(self) -> None:
         """Detach every segment (never unlinks — attachments don't own)."""
         for seg in self._segments.values():

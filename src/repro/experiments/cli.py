@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments.cli fig12 [options]   # Figure 12 table
     python -m repro.experiments.cli fig13 [options]   # Figure 13 table
     python -m repro.experiments.cli report [options]  # Observations 1-2
+    python -m repro.experiments.cli serve [options]   # tasks via the service
 
 Options: ``--suite forum|tpcds``, ``--difficulty easy|hard``,
 ``--techniques provenance,value,type``, ``--backend row|columnar|numpy``,
@@ -15,11 +16,20 @@ Options: ``--suite forum|tpcds``, ``--difficulty easy|hard``,
 ``--shm auto|on|off`` (shared-memory dispatch for process workers),
 ``--easy-timeout S``, ``--hard-timeout S``, ``--tasks name1,name2``,
 ``--csv FILE``.
+
+``serve`` drives the selected tasks concurrently through
+:class:`repro.serve.SynthesisService` — the way to exercise the warm
+pool from the command line.  Extra options: ``--pool-backend
+auto|threads|processes`` (worker tier; ``REPRO_POOL_BACKEND`` overrides
+the ``auto`` default), ``--pool-size N``, ``--slice-pops N`` and
+``--request-timeout S`` (per-request wall-clock budget, queueing
+included).
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import sys
 
@@ -65,10 +75,50 @@ def _run(args):
     return run_suite(tasks, techniques, config, progress=progress)
 
 
+def _serve(args) -> int:
+    """Run the selected tasks through the serving layer, concurrently."""
+    from repro.experiments.runner import task_config
+    from repro.serve import ServiceConfig, SynthesisService
+    from repro.synthesis import GroundTruthStop
+
+    tasks = _select_tasks(args)
+    techniques = tuple(args.techniques.split(","))
+    run_config = build_run_config(args)
+    svc_config = ServiceConfig(
+        pool_size=args.pool_size, max_requests=len(tasks) * len(techniques)
+        or 1, slice_pops=args.slice_pops, pool_backend=args.pool_backend,
+        default_timeout_s=args.request_timeout)
+
+    async def drive() -> int:
+        failures = 0
+        async with SynthesisService(svc_config) as svc:
+            handles = [
+                (task, technique,
+                 svc.submit(task.tables, task.demonstration,
+                            task_config(task, run_config),
+                            stop=GroundTruthStop(task.ground_truth),
+                            technique=technique))
+                for task in tasks for technique in techniques]
+            for task, technique, handle in handles:
+                result = await handle.result()
+                solved = result.target is not None
+                failures += not solved
+                print(f"[{technique:10s}] {task.name:42s} "
+                      f"{'solved' if solved else handle.status:8s} "
+                      f"{result.stats.elapsed_s:7.2f}s "
+                      f"visited={result.stats.visited} "
+                      f"worker={handle.worker_id}", flush=True)
+            telemetry = svc.pool.telemetry()
+        print(json.dumps({"pool": telemetry}, indent=2))
+        return 1 if failures else 0
+
+    return asyncio.run(drive())
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="repro.experiments")
     parser.add_argument("command", choices=(
-        "validate", "summary", "run", "fig12", "fig13", "report"))
+        "validate", "summary", "run", "fig12", "fig13", "report", "serve"))
     parser.add_argument("--suite", choices=("forum", "tpcds"))
     parser.add_argument("--difficulty", choices=("easy", "hard"))
     parser.add_argument("--tasks", help="comma-separated task names")
@@ -90,7 +140,24 @@ def main(argv=None) -> int:
     parser.add_argument("--hard-timeout", type=float,
                         default=RunConfig().hard_timeout_s)
     parser.add_argument("--csv", help="write raw per-run results to FILE")
+    parser.add_argument("--pool-backend",
+                        choices=("auto", "threads", "processes"),
+                        default=None,
+                        help="serve: worker tier (default 'auto' = "
+                             "processes when --pool-size > 1; "
+                             "REPRO_POOL_BACKEND overrides 'auto')")
+    parser.add_argument("--pool-size", type=int, default=2,
+                        help="serve: warm pool workers (default 2)")
+    parser.add_argument("--slice-pops", type=int, default=500,
+                        help="serve: preemption granularity, pops per "
+                             "slice (default 500)")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        help="serve: per-request wall-clock budget in "
+                             "seconds, queueing included")
     args = parser.parse_args(argv)
+
+    if args.command == "serve":
+        return _serve(args)
 
     if args.command == "validate":
         for task in _select_tasks(args):

@@ -210,19 +210,32 @@ def _run_threads(payloads, env, demo, config, abstraction_spec,
     return [o for o in outcomes if o is not None]
 
 
-def _pick_context(methods):
+def pick_context(methods=None, start_method: str | None = None):
     """The multiprocessing context for worker processes.
 
     fork inherits the payload (tables, demo, closures) for free; spawn is
-    the portable fallback and needs every argument picklable.
-    ``REPRO_START_METHOD`` forces a method (the CI spawn job runs the
-    differential suite under it) when the platform supports it.
+    the portable fallback and needs every argument picklable.  An explicit
+    ``start_method`` wins (the serving pool's differential tests
+    parametrize it); otherwise ``REPRO_START_METHOD`` forces a method (the
+    CI spawn job runs the differential suite under it) when the platform
+    supports it.  Shared by the shard executor and the serving pool's
+    process backend so both tiers resolve the method identically.
     """
+    if methods is None:
+        methods = multiprocessing.get_all_start_methods()
+    if start_method is not None:
+        if start_method not in methods:
+            raise ValueError(f"start method {start_method!r} not supported "
+                             f"here (have {sorted(methods)})")
+        return multiprocessing.get_context(start_method)
     forced = os.environ.get("REPRO_START_METHOD", "").strip().lower()
     if forced in methods:
         return multiprocessing.get_context(forced)
     return multiprocessing.get_context(
         "fork" if "fork" in methods else "spawn")
+
+
+_pick_context = pick_context
 
 
 def _run_processes(payloads, env, demo, config, abstraction_spec,

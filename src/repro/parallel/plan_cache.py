@@ -55,11 +55,24 @@ def plan_digest(query) -> str:
     ``repr`` of the frozen-dataclass AST is structural and unambiguous,
     and — unlike ``hash`` — identical across interpreter processes
     (seeded string hashing) and across equal trees that differ in object
-    sharing (unlike pickle's memo-dependent byte stream).  The index
-    lives for one run against one environment, so the environment needs
-    no representation in the key.
+    sharing (unlike pickle's memo-dependent byte stream).  A one-run index
+    against a single environment needs no environment in the key; the
+    long-lived serving tier pairs this with :func:`env_digest`.
     """
     return hashlib.blake2b(repr(query).encode(), digest_size=16).hexdigest()
+
+
+def env_digest(env) -> str:
+    """Stable content digest of an environment's tables.
+
+    Two ``Env`` objects with equal tables digest identically whatever
+    process built them — the property that lets a serving pool's shared
+    index key entries by ``(env digest, plan digest)`` so repeated-schema
+    requests hit each other's published blocks while distinct-data
+    requests can never collide.  ``repr`` covers names, schemas and every
+    cell exactly (the same argument as :func:`plan_digest`).
+    """
+    return hashlib.blake2b(repr(env).encode(), digest_size=16).hexdigest()
 
 
 class LocalPlanCache:
@@ -69,12 +82,22 @@ class LocalPlanCache:
     it is its own client.  Keys are the engine's exact ``(query, env)``
     structural keys, so entries from different environments (cross-run
     reuse) can never collide.
+
+    ``backing``, when given, is a second, slower tier behind the local
+    dict — a :class:`ProcessPlanClient` over the shm-digest index.  A
+    local miss consults the backing (memoizing any hit locally, so the
+    digest round-trip is paid once per entry per process) and a publish
+    feeds both tiers.  This is how the thread and process serving tiers
+    hit *the same* cache: every engine talks to a ``LocalPlanCache``, and
+    the shm index behind it is shared pool-wide across processes.
     """
 
-    def __init__(self, max_entries: int = MAX_SHARED_ENTRIES) -> None:
+    def __init__(self, max_entries: int = MAX_SHARED_ENTRIES,
+                 backing=None) -> None:
         self._entries: dict = {}
         self._lock = threading.Lock()
         self._max = max_entries
+        self._backing = backing
 
     def client(self, shard_id: int) -> "LocalPlanCache":
         return self
@@ -84,18 +107,31 @@ class LocalPlanCache:
 
     def fetch(self, query, env):
         with self._lock:
-            return self._entries.get((query, env))
+            hit = self._entries.get((query, env))
+        if hit is not None:
+            return hit
+        if self._backing is None:
+            return None
+        fetched = self._backing.fetch(query, env)
+        if fetched is not None:
+            with self._lock:
+                if len(self._entries) < self._max:
+                    self._entries.setdefault((query, env), fetched)
+        return fetched
 
     def publish(self, query, env, columns, n_rows) -> int:
-        # Shared by reference — nothing is shipped, so no bytes reported
-        # (the shm telemetry counts segment traffic, and there is none).
+        # Shared by reference — nothing is shipped locally, so only the
+        # backing tier (when present) reports segment bytes.
         with self._lock:
             if len(self._entries) < self._max:
                 self._entries.setdefault((query, env), (columns, n_rows))
+        if self._backing is not None:
+            return self._backing.publish(query, env, columns, n_rows)
         return 0
 
     def close(self) -> None:
-        pass
+        if self._backing is not None:
+            self._backing.close()
 
 
 class ProcessPlanClient:
@@ -103,30 +139,52 @@ class ProcessPlanClient:
 
     Constructed in the coordinator but inert until used: the shm store
     and attachment are created lazily in the worker process (after
-    fork/spawn), so the client itself pickles as two small fields.
+    fork/spawn), so the client itself pickles as three small fields.
+
+    ``env_keyed=True`` (the serving pool) prefixes every index key with
+    the :func:`env_digest` of the environment, so a pool that lives
+    across many requests with many environments never confuses their
+    sub-plans; one-run executor caches skip the env digest entirely.
+    Digests are memoized per environment object — the ``repr`` walk is
+    paid once per env per worker, not per fetch.
     """
 
-    def __init__(self, index, prefix: str, max_entries: int) -> None:
-        self._index = index             # manager DictProxy: digest -> handle
+    def __init__(self, index, prefix: str, max_entries: int,
+                 env_keyed: bool = False) -> None:
+        self._index = index             # manager DictProxy: key -> handle
         self._prefix = prefix
         self._max = max_entries
+        self._env_keyed = env_keyed
         self._store: shm.ShmStore | None = None
         self._attachment: shm.Attachment | None = None
+        self._env_digests: dict = {}    # id(env) -> (env, digest)
 
     def __getstate__(self):
-        return (self._index, self._prefix, self._max)
+        return (self._index, self._prefix, self._max, self._env_keyed)
 
     def __setstate__(self, state):
-        self._index, self._prefix, self._max = state
+        self._index, self._prefix, self._max, self._env_keyed = state
         self._store = None
         self._attachment = None
+        self._env_digests = {}
+
+    def _key(self, query, env):
+        if not self._env_keyed:
+            return plan_digest(query)
+        entry = self._env_digests.get(id(env))
+        # The entry pins the env alive, so its id cannot be recycled
+        # while the entry exists; the identity check guards stale slots.
+        if entry is None or entry[0] is not env:
+            entry = (env, env_digest(env))
+            self._env_digests[id(env)] = entry
+        return (entry[1], plan_digest(query))
 
     def eligible(self, query) -> bool:
         return operator_count(query) >= MIN_SHARED_OPERATORS
 
     def fetch(self, query, env):
         try:
-            handle = self._index.get(plan_digest(query))
+            handle = self._index.get(self._key(query, env))
         except (EOFError, BrokenPipeError, ConnectionError):
             return None             # coordinator tearing down — run as local
         if handle is None:
@@ -152,7 +210,7 @@ class ProcessPlanClient:
         # until the run ends); the coordinator's prefix sweep reclaims it.
         handle = self._store.publish_block(columns, n_rows, disown=True)
         try:
-            existing = self._index.setdefault(plan_digest(query), handle)
+            existing = self._index.setdefault(self._key(query, env), handle)
         except (EOFError, BrokenPipeError, ConnectionError):
             existing = None
         if existing is None or existing.segment != handle.segment:
@@ -180,15 +238,18 @@ class ProcessPlanCache:
     """
 
     def __init__(self, ctx, run_prefix: str,
-                 max_entries: int = MAX_SHARED_ENTRIES) -> None:
+                 max_entries: int = MAX_SHARED_ENTRIES,
+                 env_keyed: bool = False) -> None:
         self._manager = ctx.Manager()
         self._index = self._manager.dict()
         self.run_prefix = run_prefix
         self._max = max_entries
+        self._env_keyed = env_keyed
 
     def client(self, shard_id: int) -> ProcessPlanClient:
         return ProcessPlanClient(self._index,
-                                 f"{self.run_prefix}c{shard_id}", self._max)
+                                 f"{self.run_prefix}c{shard_id}", self._max,
+                                 env_keyed=self._env_keyed)
 
     def drop_shard(self, shard_id: int) -> int:
         """Dead-worker cleanup: unlink one shard's published segments and

@@ -2,13 +2,30 @@
 (:mod:`repro.serve.pool`) under an asyncio front-end
 (:mod:`repro.serve.service`).
 
+The pool is backend-pluggable (:data:`~repro.serve.pool.POOL_BACKENDS`):
+GIL-sharing worker threads, or long-lived worker processes fed
+checkpoint blobs over the shared-memory column store — the default
+whenever the pool is larger than one worker.  Both tiers share one
+sub-plan cache stack and produce byte-identical results.
+
 Layering: sits beside :mod:`repro.experiments`, above
 :mod:`repro.synthesis` — requests are
 :class:`~repro.synthesis.session.SynthesisSession` objects, and the pool
-reuses the cross-shard sub-plan cache from :mod:`repro.parallel`.
+reuses the cross-shard sub-plan cache and shm column store from
+:mod:`repro.parallel` / :mod:`repro.engine.shm`.
 """
 
-from repro.serve.pool import PoolWorker, WorkerPool, warm_key
+from repro.serve.pool import (
+    POOL_BACKENDS,
+    PoolBackend,
+    ProcessBackend,
+    SliceOutcome,
+    ThreadBackend,
+    WorkerPool,
+    WorkerTelemetry,
+    resolve_pool_backend,
+    warm_key,
+)
 from repro.serve.service import (
     RequestHandle,
     ServiceConfig,
@@ -17,7 +34,9 @@ from repro.serve.service import (
 )
 
 __all__ = [
-    "WorkerPool", "PoolWorker", "warm_key",
+    "WorkerPool", "PoolBackend", "ThreadBackend", "ProcessBackend",
+    "POOL_BACKENDS", "resolve_pool_backend", "warm_key",
+    "SliceOutcome", "WorkerTelemetry",
     "SynthesisService", "ServiceConfig", "ServiceOverloaded",
     "RequestHandle",
 ]

@@ -1,44 +1,109 @@
 """The persistent warm worker pool behind :class:`repro.serve.service`.
 
-One :class:`WorkerPool` outlives every request: each worker is a daemon
-thread draining its own FIFO of work closures, and owns a cache of warm
-``(engine, abstraction)`` pairs keyed by the request configuration fields
-that shape evaluation state.  A repeated-schema request landing on a warm
-worker therefore starts with hot subtree/block/verdict caches instead of
-an empty engine — the latency side of the paper's interactive loop.
+One :class:`WorkerPool` outlives every request, and since PR 8 the worker
+tier is *executor-agnostic*: the pool facade speaks a small op protocol
+(open / step / run / cancel / close) to a :class:`PoolBackend`, and two
+backends implement it —
 
-Cross-request sharing goes one level further: every warm engine is wired
-to one pool-wide :class:`~repro.parallel.plan_cache.LocalPlanCache`, the
-same cross-shard sub-plan tier the thread executor uses, whose keys are
-exact ``(query, env)`` pairs.  The first request that evaluates a shared
-sub-plan publishes its block; *any* other worker's engine — even a
-freshly built one — gets a ``cross_shard_hits`` fetch instead of a
-re-evaluation when the same tables come around again.
+* :class:`ThreadBackend` — daemon threads in the service process, the
+  PR 7 tier.  Sessions are shared by reference, dispatch is free, and the
+  GIL serializes CPU-bound slices; right for latency-sensitive light
+  traffic and for callers who want to poll the live session object.
+* :class:`ProcessBackend` — long-lived non-daemon worker *processes*
+  (non-daemon so a hosted session may itself fan out to shard workers).
+  Requests ship as env-stripped ``checkpoint()`` blobs plus an
+  :class:`~repro.engine.shm.EnvHandle` laid out once in the shared-memory
+  column store; concurrent CPU-bound searches then scale with cores
+  instead of contending for one GIL.
+
+Both backends drive the same :class:`_SessionHost` per worker: a cache of
+warm ``(engine, abstraction)`` pairs keyed by :func:`warm_key`, the
+``(warm key, env digest)`` pairs already served (the warm-hit metric that
+schema-affinity routing optimizes), and the sessions currently hosted.
+Because the host is shared code, a request's slices execute identically
+on either tier — the determinism pledge below.
+
+Cross-request sub-plan sharing spans both tiers through one cache stack:
+every warm engine talks to a :class:`~repro.parallel.plan_cache.
+LocalPlanCache`; on the process tier that local cache is *backed* by the
+shm-digest index (:class:`~repro.parallel.plan_cache.ProcessPlanCache`
+with env-keyed digests), so the first worker process that evaluates a
+shared sub-plan publishes its block and every sibling — and the
+coordinator's own engines — fetch it instead of re-evaluating.
 
 Why warm reuse is safe: engine caches are keyed on exact structural
 ``(query, env)`` state — and the incremental consistency checker's
 verdicts additionally on demonstration identity — so traffic from one
-request can never change another's *results*, only its latency (the same
-argument that makes the cross-shard cache deterministic).  Per-session
-accounting stays exact because :class:`~repro.synthesis.session.
-SynthesisSession` snapshots the engine's counters at attach time and
-reports deltas.
+request can never change another's *results*, only its latency.  The shm
+codecs are exact and an attached environment compares equal to the
+original, so a process-hosted session's ranked queries and
+``SearchStats`` are byte-identical to the same session sliced on a
+thread worker (or never sliced at all), under fork and spawn alike.
+
+Known limitation: a worker process killed from outside (OOM, SIGKILL)
+strands its hosted requests until ``close()`` — the service's per-request
+deadlines are the backstop, and ``close()`` surfaces stuck workers as an
+error instead of hanging interpreter shutdown.
 """
 
 from __future__ import annotations
 
+import atexit
+import gc
+import os
 import queue
 import threading
+import traceback
 from collections.abc import Callable
+from dataclasses import dataclass, field
 
 from repro.abstraction.base import Abstraction
+from repro.engine import shm
 from repro.engine.base import EvalEngine, make_engine, resolve_backend
-from repro.parallel.plan_cache import LocalPlanCache
+from repro.parallel.executor import pick_context
+from repro.parallel.plan_cache import LocalPlanCache, ProcessPlanCache
 from repro.synthesis.config import SynthesisConfig
+from repro.synthesis.enumerator import SearchStats, SynthesisResult
+from repro.synthesis.session import SynthesisSession
 from repro.synthesis.synthesizer import build_abstraction
+from repro.util.timer import Deadline
 
-#: Stop sentinel for worker queues (``None`` would shadow a missing job).
+#: Stop sentinel for thread-worker queues (``None`` would shadow a job).
 _SHUTDOWN = object()
+
+POOL_BACKENDS = ("threads", "processes")
+
+#: Bound on close()'s drain-and-join; workers still alive after it are
+#: terminated and reported, never waited on forever.
+POOL_CLOSE_TIMEOUT_S = 10.0
+
+#: Shared cancel-flag slots per process pool.  Live requests are bounded
+#: by service admission (default 8), so exhaustion is theoretical; a
+#: request that misses a slot still cancels at its next slice boundary
+#: via the queued cancel op.
+_CANCEL_SLOTS = 256
+
+#: Attached environments memoized per worker process (one per shm
+#: segment); beyond this, idle entries are detached oldest-first.
+_ENV_MEMO_LIMIT = 32
+
+
+def resolve_pool_backend(backend: str | None = None, size: int = 1) -> str:
+    """Resolve a backend request to ``"threads"`` or ``"processes"``.
+
+    An explicit ``backend`` wins; otherwise ``REPRO_POOL_BACKEND``
+    (the CI matrix hook), and finally ``"auto"``: processes whenever the
+    pool actually has parallelism to exploit (size > 1), threads for a
+    single worker where process dispatch would be pure overhead.
+    """
+    mode = backend if backend not in (None, "", "auto") else \
+        (os.environ.get("REPRO_POOL_BACKEND", "").strip().lower() or "auto")
+    if mode == "auto":
+        return "processes" if size > 1 else "threads"
+    if mode not in POOL_BACKENDS:
+        raise ValueError(f"unknown pool backend {mode!r}: expected "
+                         f"'threads', 'processes' or 'auto'")
+    return mode
 
 
 def warm_key(config: SynthesisConfig, technique: str) -> tuple:
@@ -56,30 +121,73 @@ def warm_key(config: SynthesisConfig, technique: str) -> tuple:
             config.head_typing)
 
 
-class PoolWorker:
-    """One warm worker: a thread, a job queue, and an engine cache."""
+@dataclass
+class WorkerTelemetry:
+    """One worker's warm-state counters (snapshot, cheap to ship)."""
 
-    def __init__(self, worker_id: int, plan_cache: LocalPlanCache) -> None:
+    worker_id: int = 0
+    warm_hits: int = 0      # requests whose (warm key, env) was already hot
+    warm_misses: int = 0    # requests that warmed a new (warm key, env)
+    cold_builds: int = 0    # engines actually constructed
+    warm_keys: int = 0      # distinct engine+abstraction pairs held
+    slices: int = 0         # ops executed (open/step/run)
+
+
+@dataclass
+class SliceOutcome:
+    """What one op produced — the only thing a backend ships back.
+
+    ``stats`` is a snapshot for observability (the process tier has no
+    live session object to poll); ``result`` is set exactly once, on the
+    terminal outcome.  ``telemetry`` piggybacks the worker's counters so
+    the coordinator needs no side channel.
+    """
+
+    request_id: int
+    worker_id: int
+    pops: int = 0
+    new_queries: list = field(default_factory=list)
+    stats: SearchStats | None = None
+    done: bool = False
+    status: str = "active"
+    timed_out: bool = False
+    result: SynthesisResult | None = None
+    error: str | None = None
+    telemetry: WorkerTelemetry | None = None
+
+
+class _Hosted:
+    """One session resident on a worker, with its slicing parameters."""
+
+    __slots__ = ("session", "slice_pops", "deadline", "adopted")
+
+    def __init__(self, session, slice_pops, deadline, adopted) -> None:
+        self.session = session
+        self.slice_pops = slice_pops
+        self.deadline = deadline
+        self.adopted = adopted
+
+
+class _SessionHost:
+    """Per-worker state both backends share; confined to one worker.
+
+    Owns the warm engine cache, the warm-hit accounting, and the hosted
+    sessions — a thread worker runs it in the service process, a process
+    worker in its own interpreter, and the op semantics are identical.
+    """
+
+    def __init__(self, worker_id: int, plan_cache) -> None:
         self.worker_id = worker_id
         self.plan_cache = plan_cache
-        self.warm_hits = 0          # requests served by an existing engine
-        self.cold_builds = 0        # engines built on first use of a key
         self._warm: dict[tuple, tuple[EvalEngine, Abstraction]] = {}
-        self._jobs: queue.Queue = queue.Queue()
-        self._thread = threading.Thread(
-            target=self._run, name=f"repro-serve-worker-{worker_id}",
-            daemon=True)
-        self._thread.start()
-
-    def submit(self, job: Callable[[], None]) -> None:
-        """Enqueue a closure; jobs on one worker run strictly in order."""
-        self._jobs.put(job)
+        self._served: set[tuple] = set()    # (warm key, env digest) pairs
+        self._sessions: dict[int, _Hosted] = {}
+        self._counts = WorkerTelemetry(worker_id=worker_id)
 
     def engine_for(self, config: SynthesisConfig,
                    technique: str) -> tuple[EvalEngine, Abstraction]:
         """The warm engine+abstraction for this request shape (built on
-        first use, wired to the pool-wide sub-plan cache).  Must be called
-        from this worker's thread: the warm cache is thread-confined."""
+        first use, wired to the worker's sub-plan cache stack)."""
         key = warm_key(config, technique)
         pair = self._warm.get(key)
         if pair is None:
@@ -89,71 +197,603 @@ class PoolWorker:
             abstraction.bind_engine(engine)
             pair = (engine, abstraction)
             self._warm[key] = pair
-            self.cold_builds += 1
-        else:
-            self.warm_hits += 1
+            self._counts.cold_builds += 1
         return pair
 
-    @property
-    def warm_keys(self) -> int:
-        return len(self._warm)
+    def open_session(self, request_id: int, session: SynthesisSession,
+                     slice_pops: int, deadline: Deadline, env_key: str,
+                     adopted=None) -> SliceOutcome:
+        """Admit a session and run its first slice.
 
-    def _run(self) -> None:
+        The warm hit/miss is scored here, per request, at ``(warm key,
+        env digest)`` granularity: a hit means this worker has already
+        evaluated this request shape *on these tables* — hot engine
+        subtree/block/verdict caches, not merely a constructed engine.
+        This is the rate schema-affinity routing exists to raise.
+        """
+        key = (warm_key(session.config, session.abstraction_spec), env_key)
+        if key in self._served:
+            self._counts.warm_hits += 1
+        else:
+            self._counts.warm_misses += 1
+            self._served.add(key)
+        self._sessions[request_id] = _Hosted(session, slice_pops, deadline,
+                                             adopted)
+        return self.step_session(request_id)
+
+    def step_session(self, request_id: int) -> SliceOutcome:
+        """One bounded slice; terminal when the session (or budget) ends."""
+        hosted = self._sessions[request_id]
+        session = hosted.session
+        if hosted.deadline.expired() and not session.done:
+            # The request's wall-clock budget (queueing included) expired:
+            # report the partial result with the same timed_out marker the
+            # config budget uses, without spending a single pop.
+            session.stats.timed_out = True
+            return self._complete(request_id, [], timed_out=True)
+        self._attach(hosted)
+        report = session.step(max_pops=hosted.slice_pops)
+        self._counts.slices += 1
+        if session.done:
+            return self._complete(request_id, report.new_queries,
+                                  timed_out=False)
+        return SliceOutcome(
+            request_id=request_id, worker_id=self.worker_id,
+            pops=report.pops, new_queries=list(report.new_queries),
+            stats=SearchStats(**session.stats.as_dict()), done=False,
+            status=session.status, telemetry=self.telemetry())
+
+    def run_session(self, request_id: int) -> SliceOutcome:
+        """Drive a hosted session to completion in one op.
+
+        With ``config.workers > 1`` the session re-dispatches its
+        remaining work onto shard workers at the next round boundary —
+        the intra-request fan-out path, byte-identical to slicing.
+        """
+        hosted = self._sessions[request_id]
+        session = hosted.session
+        if hosted.deadline.expired() and not session.done:
+            session.stats.timed_out = True
+            return self._complete(request_id, [], timed_out=True)
+        self._attach(hosted)
+        found_before = len(session.result(ranked=False).queries)
+        session.run()
+        self._counts.slices += 1
+        new = session.result(ranked=False).queries[found_before:]
+        return self._complete(request_id, new, timed_out=False)
+
+    def cancel_session(self, request_id: int) -> None:
+        hosted = self._sessions.get(request_id)
+        if hosted is not None:
+            hosted.session.cancel()
+
+    def drop(self, request_id: int) -> None:
+        self._sessions.pop(request_id, None)
+
+    def env_in_use(self, env) -> bool:
+        return any(h.session.env is env for h in self._sessions.values())
+
+    def telemetry(self) -> WorkerTelemetry:
+        counts = self._counts
+        return WorkerTelemetry(
+            worker_id=self.worker_id, warm_hits=counts.warm_hits,
+            warm_misses=counts.warm_misses, cold_builds=counts.cold_builds,
+            warm_keys=len(self._warm), slices=counts.slices)
+
+    def _attach(self, hosted: _Hosted) -> None:
+        session = hosted.session
+        engine, abstraction = self.engine_for(session.config,
+                                              session.abstraction_spec)
+        session.attach_engine(engine, abstraction)
+        if hosted.adopted is not None:
+            # Re-seed the shm-backed column blocks (idempotent): a warm
+            # engine that last served a different env gets this env's
+            # zero-copy blocks back without re-decoding.
+            engine.adopt_env(session.env, hosted.adopted)
+
+    def _complete(self, request_id: int, new_queries,
+                  timed_out: bool) -> SliceOutcome:
+        hosted = self._sessions.pop(request_id)
+        session = hosted.session
+        result = session.result()
+        return SliceOutcome(
+            request_id=request_id, worker_id=self.worker_id,
+            new_queries=list(new_queries), stats=result.stats, done=True,
+            status=session.status, timed_out=timed_out, result=result,
+            telemetry=self.telemetry())
+
+
+def _error_outcome(host: _SessionHost, request_id: int) -> SliceOutcome:
+    host.drop(request_id)
+    return SliceOutcome(
+        request_id=request_id, worker_id=host.worker_id, done=True,
+        status="error", error=traceback.format_exc(),
+        telemetry=host.telemetry())
+
+
+def _apply_op(host: _SessionHost, kind: str, request_id: int,
+              open_session: Callable[[], SliceOutcome]) -> SliceOutcome:
+    """Shared op dispatch: every op but cancel/close yields one outcome."""
+    try:
+        if kind == "open":
+            return open_session()
+        if kind == "step":
+            return host.step_session(request_id)
+        return host.run_session(request_id)
+    except Exception:
+        return _error_outcome(host, request_id)
+
+
+# ------------------------------------------------------------------ backends
+
+class PoolBackend:
+    """The executor-agnostic worker-tier interface the pool facade drives.
+
+    One method per op; ops targeting one worker execute strictly in
+    submission order, and every open/step/run eventually produces exactly
+    one :class:`SliceOutcome` delivered to the dispatch callback (from a
+    backend-owned thread — never the caller's).
+    """
+
+    name: str
+
+    def open(self, worker_id: int, request_id: int,
+             session: SynthesisSession, slice_pops: int, deadline: Deadline,
+             env_key: str) -> None:
+        raise NotImplementedError
+
+    def step(self, worker_id: int, request_id: int) -> None:
+        raise NotImplementedError
+
+    def run(self, worker_id: int, request_id: int) -> None:
+        raise NotImplementedError
+
+    def cancel(self, worker_id: int, request_id: int) -> None:
+        raise NotImplementedError
+
+    def telemetry(self, worker_id: int) -> WorkerTelemetry:
+        raise NotImplementedError
+
+    def close(self, timeout_s: float) -> list[int]:
+        """Drain and join; returns ids of workers that had to be killed."""
+        raise NotImplementedError
+
+
+class _ThreadWorker:
+    """One warm thread worker: a queue, a thread, a session host."""
+
+    def __init__(self, worker_id: int, plan_cache,
+                 dispatch: Callable[[SliceOutcome], None]) -> None:
+        self.host = _SessionHost(worker_id, plan_cache)
+        self._dispatch = dispatch
+        self._jobs: queue.Queue = queue.Queue()
+        self._thread = threading.Thread(
+            target=self._loop, name=f"repro-serve-worker-{worker_id}",
+            daemon=True)
+        self._thread.start()
+
+    def submit(self, op) -> None:
+        self._jobs.put(op)
+
+    def _loop(self) -> None:
+        host = self.host
         while True:
-            job = self._jobs.get()
-            if job is _SHUTDOWN:
+            op = self._jobs.get()
+            if op is _SHUTDOWN:
                 return
-            # A job must not raise — the service wraps every slice — but a
-            # worker thread dying silently would strand its whole queue,
-            # so swallow the impossible rather than risk it.
-            try:
-                job()
-            except Exception:       # pragma: no cover - defensive
-                pass
+            kind, request_id, payload = op
+            if kind == "cancel":
+                host.cancel_session(request_id)
+                continue
+            outcome = _apply_op(
+                host, kind, request_id,
+                lambda: host.open_session(request_id, *payload))
+            self._dispatch(outcome)
 
-    def close(self) -> None:
+    def close(self, deadline: Deadline) -> bool:
+        """Request shutdown and join; True when the worker drained."""
         self._jobs.put(_SHUTDOWN)
-        self._thread.join()
+        remaining = deadline.remaining()
+        self._thread.join(remaining if remaining is not None else None)
+        return not self._thread.is_alive()
 
+
+class ThreadBackend(PoolBackend):
+    """Daemon threads in the calling process; sessions stay shared
+    objects, so the service's handle can poll live search state."""
+
+    name = "threads"
+
+    def __init__(self, size: int, plan_cache,
+                 dispatch: Callable[[SliceOutcome], None]) -> None:
+        self._workers = [_ThreadWorker(i, plan_cache, dispatch)
+                         for i in range(size)]
+
+    def open(self, worker_id, request_id, session, slice_pops, deadline,
+             env_key) -> None:
+        self._workers[worker_id].submit(
+            ("open", request_id, (session, slice_pops, deadline, env_key)))
+
+    def step(self, worker_id, request_id) -> None:
+        self._workers[worker_id].submit(("step", request_id, None))
+
+    def run(self, worker_id, request_id) -> None:
+        self._workers[worker_id].submit(("run", request_id, None))
+
+    def cancel(self, worker_id, request_id) -> None:
+        # Direct call, not an op: the session object is shared, and the
+        # flag must be visible mid-slice, not behind queued work.
+        self._workers[worker_id].host.cancel_session(request_id)
+
+    def telemetry(self, worker_id) -> WorkerTelemetry:
+        return self._workers[worker_id].host.telemetry()
+
+    def close(self, timeout_s: float) -> list[int]:
+        deadline = Deadline(timeout_s)
+        return [i for i, worker in enumerate(self._workers)
+                if not worker.close(deadline)]
+
+
+class _SlotProbe:
+    """Picklable-by-construction cancel probe over one shared-flag slot
+    (built worker-side; a closure would do, a class documents better)."""
+
+    __slots__ = ("flags", "slot")
+
+    def __init__(self, flags, slot: int) -> None:
+        self.flags = flags
+        self.slot = slot
+
+    def __call__(self) -> bool:
+        return self.flags[self.slot] != 0
+
+
+def _process_worker_main(worker_id: int, jobs, results, plan_client,
+                         cancel_flags) -> None:
+    """Body of one long-lived worker process.
+
+    Environments are memoized per shm segment — attached and decoded
+    once, then shared by every hosted session that ships the same
+    handle — and the plan cache is the two-tier stack: a local dict in
+    front of the pool-wide shm-digest index.
+    """
+    plan_cache = LocalPlanCache(backing=plan_client)
+    host = _SessionHost(worker_id, plan_cache)
+    attachment = shm.Attachment()
+    envs: dict[str, tuple] = {}         # segment -> (env, adopted payload)
+
+    def open_session(request_id: int, payload) -> SliceOutcome:
+        blob, handle, slice_pops, deadline, env_key, slot = payload
+        entry = envs.get(handle.segment)
+        if entry is None:
+            entry = shm.adopt_env(handle, attachment)
+            envs[handle.segment] = entry
+            while len(envs) > _ENV_MEMO_LIMIT:
+                stale = next((seg for seg, (env, _) in envs.items()
+                              if not host.env_in_use(env)), None)
+                if stale is None:
+                    break
+                del envs[stale]
+                attachment.discard(stale)
+        env, adopted = entry
+        session = SynthesisSession.resume(blob, env=env)
+        if slot >= 0:
+            session.set_cancel_probe(_SlotProbe(cancel_flags, slot))
+        return host.open_session(request_id, session, slice_pops, deadline,
+                                 env_key, adopted=adopted)
+
+    while True:
+        op = jobs.get()
+        kind, request_id, payload = op
+        if kind == "close":
+            break
+        if kind == "cancel":
+            # Slice-boundary fallback; the shared flag already covers
+            # mid-slice (the session polls it every pop).
+            host.cancel_session(request_id)
+            continue
+        results.put(_apply_op(host, kind, request_id,
+                              lambda: open_session(request_id, payload)))
+    plan_cache.close()
+    # Release every zero-copy view (warm engines, env memo) before
+    # detaching, so segment mappings close cleanly instead of deferring
+    # to interpreter-exit GC with exported pointers still alive.
+    host = None
+    envs.clear()
+    gc.collect()
+    attachment.close()
+
+
+class ProcessBackend(PoolBackend):
+    """Long-lived worker processes fed over per-worker job queues.
+
+    Dispatch path: the coordinator checkpoints the session (env
+    stripped), publishes its environment once into the shm column store,
+    and ships ``(blob, EnvHandle)``; one reader thread fans every
+    worker's outcomes back into the dispatch callback.  Workers are
+    non-daemon so a hosted session may fan out to its own shard
+    processes (daemons cannot have children).
+    """
+
+    name = "processes"
+
+    def __init__(self, size: int, dispatch: Callable[[SliceOutcome], None],
+                 start_method: str | None = None) -> None:
+        self._dispatch = dispatch
+        self._ctx = pick_context(start_method=start_method)
+        # Env segments and worker plan publishes both nest under the
+        # store's prefix: one end-of-life sweep reclaims everything
+        # however a publisher exited.
+        self._store = shm.ShmStore()
+        self.prefix = self._store.prefix
+        self._plan_tier = ProcessPlanCache(self._ctx, self.prefix,
+                                           env_keyed=True)
+        self._cancel_flags = self._ctx.Array("b", _CANCEL_SLOTS, lock=False)
+        self._results = self._ctx.SimpleQueue()
+        self._jobs = [self._ctx.SimpleQueue() for _ in range(size)]
+        self._procs = []
+        for i in range(size):
+            proc = self._ctx.Process(
+                target=_process_worker_main,
+                args=(i, self._jobs[i], self._results,
+                      self._plan_tier.client(i), self._cancel_flags),
+                name=f"repro-serve-proc-{i}", daemon=False)
+            proc.start()
+            self._procs.append(proc)
+        self._lock = threading.Lock()
+        self._env_handles: dict = {}            # env -> EnvHandle
+        self._slots: dict[int, int] = {}        # request_id -> flag slot
+        self._free_slots = list(range(_CANCEL_SLOTS))
+        self._telemetry = [WorkerTelemetry(worker_id=i) for i in range(size)]
+        self._reader = threading.Thread(target=self._read_outcomes,
+                                        name="repro-serve-pool-reader",
+                                        daemon=True)
+        self._reader.start()
+
+    def plan_client(self):
+        """A coordinator-side client of the pool's shm-digest index (the
+        backing tier for the facade's ``plan_cache``)."""
+        return self._plan_tier.client(len(self._procs))
+
+    def open(self, worker_id, request_id, session, slice_pops, deadline,
+             env_key) -> None:
+        blob = session.checkpoint(strip_env=True)
+        with self._lock:
+            handle = self._env_handles.get(session.env)
+            if handle is None:
+                handle = self._store.publish_env(session.env)
+                self._env_handles[session.env] = handle
+            slot = self._free_slots.pop() if self._free_slots else -1
+            if slot >= 0:
+                self._cancel_flags[slot] = 0
+                self._slots[request_id] = slot
+        self._jobs[worker_id].put(
+            ("open", request_id,
+             (blob, handle, slice_pops, deadline, env_key, slot)))
+
+    def step(self, worker_id, request_id) -> None:
+        self._jobs[worker_id].put(("step", request_id, None))
+
+    def run(self, worker_id, request_id) -> None:
+        self._jobs[worker_id].put(("run", request_id, None))
+
+    def cancel(self, worker_id, request_id) -> None:
+        with self._lock:
+            slot = self._slots.get(request_id)
+        if slot is not None:
+            self._cancel_flags[slot] = 1    # visible mid-slice, next pop
+        self._jobs[worker_id].put(("cancel", request_id, None))
+
+    def telemetry(self, worker_id) -> WorkerTelemetry:
+        with self._lock:
+            return self._telemetry[worker_id]
+
+    def _read_outcomes(self) -> None:
+        while True:
+            try:
+                outcome = self._results.get()
+            except (EOFError, OSError):     # pragma: no cover - teardown
+                return
+            if outcome is None:             # close() sentinel
+                return
+            with self._lock:
+                if outcome.telemetry is not None:
+                    self._telemetry[outcome.worker_id] = outcome.telemetry
+                if outcome.done:
+                    slot = self._slots.pop(outcome.request_id, None)
+                    if slot is not None:
+                        self._cancel_flags[slot] = 0
+                        self._free_slots.append(slot)
+            self._dispatch(outcome)
+
+    def close(self, timeout_s: float) -> list[int]:
+        for jobs in self._jobs:
+            jobs.put(("close", -1, None))
+        deadline = Deadline(timeout_s)
+        stuck = []
+        for i, proc in enumerate(self._procs):
+            proc.join(timeout=max(0.1, deadline.remaining()))
+            if proc.is_alive():
+                stuck.append(i)
+                proc.terminate()
+                proc.join(timeout=1.0)
+                if proc.is_alive():         # pragma: no cover - defensive
+                    proc.kill()
+                    proc.join(timeout=1.0)
+        self._results.put(None)
+        self._reader.join(timeout=2.0)
+        self._plan_tier.close()
+        self._store.close()
+        shm.sweep_prefix(self.prefix)       # workers' disowned publishes
+        return stuck
+
+
+# ------------------------------------------------------------------- facade
 
 class WorkerPool:
-    """A fixed-size pool of :class:`PoolWorker` threads with one shared
-    sub-plan cache; lives across requests (and across services, if the
-    caller passes its own pool around)."""
+    """A fixed-size pool of warm workers behind a pluggable backend.
 
-    def __init__(self, size: int = 2,
-                 plan_cache: LocalPlanCache | None = None) -> None:
+    Lives across requests (and across services, if the caller passes its
+    own pool around).  ``backend`` is ``"threads"``, ``"processes"`` or
+    ``None``/``"auto"`` (``REPRO_POOL_BACKEND``, else processes when
+    ``size > 1`` — the tier that actually uses the cores).
+
+    The facade owns request-id allocation, per-request outcome routing,
+    and per-worker queue-depth accounting (incremented per submitted op,
+    decremented per outcome) — the load signal least-loaded routing uses.
+    """
+
+    def __init__(self, size: int = 2, backend: str | None = None,
+                 plan_cache: LocalPlanCache | None = None,
+                 start_method: str | None = None) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
-        self.plan_cache = plan_cache if plan_cache is not None \
-            else LocalPlanCache()
-        self.workers = [PoolWorker(i, self.plan_cache) for i in range(size)]
+        self.backend_name = resolve_pool_backend(backend, size)
+        self._size = size
+        self._lock = threading.Lock()
+        self._handlers: dict[int, tuple[Callable, int]] = {}
+        self._depths = [0] * size
+        self._next_request = 0
         self._closed = False
+        if self.backend_name == "threads":
+            self.plan_cache = plan_cache if plan_cache is not None \
+                else LocalPlanCache()
+            self._backend: PoolBackend = ThreadBackend(
+                size, self.plan_cache, self._on_outcome)
+        else:
+            process_backend = ProcessBackend(size, self._on_outcome,
+                                             start_method)
+            self._backend = process_backend
+            # The coordinator-side cache rides on the same shm index the
+            # workers publish to — thread-tier callers of pool.plan_cache
+            # and the process workers hit one shared tier.
+            self.plan_cache = plan_cache if plan_cache is not None \
+                else LocalPlanCache(backing=process_backend.plan_client())
+        atexit.register(self._atexit_close)
 
     @property
     def size(self) -> int:
-        return len(self.workers)
+        return self._size
 
-    def worker(self, worker_id: int) -> PoolWorker:
-        return self.workers[worker_id]
+    # ------------------------------------------------------------- requests
+    def submit_request(self, session: SynthesisSession, *, worker_id: int,
+                       slice_pops: int, deadline: Deadline, env_key: str,
+                       on_slice: Callable[[SliceOutcome], None]) -> int:
+        """Open a session on a worker; every slice lands on ``on_slice``
+        (from a pool-owned thread) until a terminal outcome.  Returns the
+        pool-wide request id used by :meth:`step`/:meth:`run`/
+        :meth:`cancel`."""
+        if not 0 <= worker_id < self._size:
+            raise ValueError(f"worker {worker_id} out of range "
+                             f"[0, {self._size})")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is closed")
+            request_id = self._next_request
+            self._next_request += 1
+            self._handlers[request_id] = (on_slice, worker_id)
+            self._depths[worker_id] += 1
+        self._backend.open(worker_id, request_id, session, slice_pops,
+                           deadline, env_key)
+        return request_id
 
-    def submit(self, worker_id: int, job: Callable[[], None]) -> None:
-        if self._closed:
-            raise RuntimeError("pool is closed")
-        self.workers[worker_id].submit(job)
+    def step(self, request_id: int) -> None:
+        """Queue the next slice (behind the worker's other requests —
+        cooperative round-robin)."""
+        self._resubmit(request_id, self._backend.step)
+
+    def run(self, request_id: int) -> None:
+        """Queue a run-to-completion op (the intra-request fan-out path
+        when the session's config asks for workers > 1)."""
+        self._resubmit(request_id, self._backend.run)
+
+    def _resubmit(self, request_id: int, op) -> None:
+        with self._lock:
+            entry = self._handlers.get(request_id)
+            if entry is None:
+                raise KeyError(f"unknown or finished request {request_id}")
+            worker_id = entry[1]
+            self._depths[worker_id] += 1
+        op(worker_id, request_id)
+
+    def cancel(self, request_id: int) -> None:
+        """Flag a request's session; it stops at its next pop whichever
+        tier hosts it (no-op once the request finished)."""
+        with self._lock:
+            entry = self._handlers.get(request_id)
+        if entry is not None:
+            self._backend.cancel(entry[1], request_id)
+
+    def _on_outcome(self, outcome: SliceOutcome) -> None:
+        with self._lock:
+            entry = self._handlers.get(outcome.request_id)
+            depth = self._depths[outcome.worker_id] - 1
+            self._depths[outcome.worker_id] = max(0, depth)
+            if outcome.done:
+                self._handlers.pop(outcome.request_id, None)
+        if entry is not None:
+            entry[0](outcome)
+
+    # ------------------------------------------------------------ telemetry
+    def queue_depth(self, worker_id: int) -> int:
+        with self._lock:
+            return self._depths[worker_id]
+
+    def queue_depths(self) -> list[int]:
+        with self._lock:
+            return list(self._depths)
+
+    def idle_workers(self, exclude: int | None = None) -> int:
+        """Workers with no queued or running op (optionally not counting
+        one — a request asking 'is there capacity besides me?')."""
+        with self._lock:
+            return sum(1 for i, depth in enumerate(self._depths)
+                       if depth == 0 and i != exclude)
 
     def telemetry(self) -> dict:
-        """Pool-wide warm-state counters (for benchmarks and tests)."""
+        """Pool-wide counters plus per-worker breakdown (benchmarks,
+        tests, and the perf snapshot's ``pool`` section)."""
+        workers = [self._backend.telemetry(i) for i in range(self._size)]
+        depths = self.queue_depths()
         return {
-            "warm_hits": sum(w.warm_hits for w in self.workers),
-            "cold_builds": sum(w.cold_builds for w in self.workers),
-            "warm_keys": sum(w.warm_keys for w in self.workers),
+            "backend": self.backend_name,
+            "warm_hits": sum(w.warm_hits for w in workers),
+            "warm_misses": sum(w.warm_misses for w in workers),
+            "cold_builds": sum(w.cold_builds for w in workers),
+            "warm_keys": sum(w.warm_keys for w in workers),
+            "slices": sum(w.slices for w in workers),
+            "per_worker": [
+                {"worker_id": w.worker_id, "queue_depth": depths[i],
+                 "warm_hits": w.warm_hits, "warm_misses": w.warm_misses,
+                 "cold_builds": w.cold_builds, "warm_keys": w.warm_keys,
+                 "slices": w.slices}
+                for i, w in enumerate(workers)],
         }
 
-    def close(self) -> None:
-        """Drain and join every worker (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        for worker in self.workers:
-            worker.close()
+    # ------------------------------------------------------------ lifecycle
+    def close(self, timeout_s: float = POOL_CLOSE_TIMEOUT_S) -> None:
+        """Drain queued work and join every worker, bounded.
+
+        Waits at most ``timeout_s`` for workers to finish their queues;
+        a worker still running past that is terminated (threads: left as
+        daemons) and reported in a ``RuntimeError`` — shutdown never
+        hangs, and a stuck worker is loud instead of silent.  Idempotent;
+        backend resources (shm segments, manager process) are reclaimed
+        before the error is raised.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        atexit.unregister(self._atexit_close)
+        stuck = self._backend.close(timeout_s)
+        if stuck:
+            raise RuntimeError(
+                f"pool workers {stuck} did not drain within {timeout_s:.1f}s "
+                f"({self.backend_name} backend); their work was abandoned")
+
+    def _atexit_close(self) -> None:    # pragma: no cover - interpreter exit
+        try:
+            self.close(timeout_s=5.0)
+        except Exception:
+            pass

@@ -9,26 +9,42 @@ asks again.  :class:`SynthesisService` makes that loop first-class:
   *slices* (``slice_pops`` pops per turn, re-enqueued behind the worker's
   other requests — cooperative round-robin, so one giant search cannot
   monopolize a worker);
+* the worker tier is pluggable (:class:`~repro.serve.pool.WorkerPool`
+  backends): GIL-sharing threads, or — the default for pools larger than
+  one — long-lived worker processes that scale CPU-bound searches with
+  cores;
+* placement is *schema-affine*: requests route by ``(warm key, env
+  digest)`` to the worker that already served that shape on those tables
+  (hot engine caches), falling back to the least-loaded worker for new
+  shapes; ``routing="round_robin"`` restores blind rotation for
+  comparison;
+* a request whose config asks for ``workers > 1`` fans out: when the
+  pool has idle capacity its next turn runs the session to completion,
+  re-dispatching remaining lanes onto shard workers at the round
+  boundary (the session's own parallel path) instead of another slice;
 * consistent queries stream to the caller the moment a slice surfaces
   them (:meth:`RequestHandle.stream`), with the full ranked result at
   :meth:`RequestHandle.result`;
 * admission control bounds the number of live requests
   (:class:`ServiceOverloaded` instead of an unbounded backlog);
-* each request carries its own wall-clock budget, and
-  :meth:`RequestHandle.cancel` stops the session at its next pop — the
-  same flag that, were the session re-dispatched onto shard workers,
-  propagates through the executor's shared cancel token.
+* each request carries its own wall-clock budget (checked worker-side
+  before every slice, so it covers queueing on either tier), and
+  :meth:`RequestHandle.cancel` stops the session at its next pop — on
+  the process tier via a shared-memory flag the session polls, plus the
+  executor's shared cancel token if it fanned out.
 
-Determinism: slicing is pure preemption — a request's ranked queries and
-``SearchStats`` are byte-identical to an uninterrupted serial run of the
-same session (the session's pledge), whichever worker it lands on and
+Determinism: slicing is pure preemption and the shm codecs are exact —
+a request's ranked queries and ``SearchStats`` are byte-identical to an
+uninterrupted serial run of the same session, whichever worker and
+whichever tier (threads or processes, fork or spawn) it lands on, and
 however its slices interleave with other requests.  What the pool's warm
 state changes is *latency only*; the per-request ``engine_stats`` deltas
 stay exact.
 
 Thread topology: the event loop owns admission, futures and streams;
-pool worker threads own every synthesis step and talk back only through
-``loop.call_soon_threadsafe``.
+pool-owned threads (worker threads on the thread tier, the outcome
+reader on the process tier) deliver slice outcomes and talk back only
+through ``loop.call_soon_threadsafe``.
 """
 
 from __future__ import annotations
@@ -38,8 +54,9 @@ from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.lang import ast
+from repro.parallel.plan_cache import env_digest
 from repro.provenance.demo import Demonstration
-from repro.serve.pool import WorkerPool
+from repro.serve.pool import SliceOutcome, WorkerPool, warm_key
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.enumerator import SynthesisResult
 from repro.synthesis.session import SynthesisSession
@@ -56,6 +73,14 @@ RUNNING = "running"
 DONE = "done"
 CANCELLED = "cancelled"
 TIMED_OUT = "timed_out"
+FAILED = "failed"
+
+ROUTING_MODES = ("affinity", "round_robin")
+
+#: Bound on the routing/env-digest memos — they key on request shapes,
+#: which are few in steady state; a pathological shape churn resets the
+#: maps rather than growing them without bound.
+_ROUTE_MEMO_LIMIT = 4096
 
 
 class ServiceOverloaded(RuntimeError):
@@ -70,6 +95,8 @@ class ServiceConfig:
     max_requests: int = 8       # live (admitted, unfinished) request bound
     slice_pops: int = 500       # preemption granularity, pops per slice
     default_timeout_s: float | None = None   # per-request budget fallback
+    pool_backend: str | None = None  # threads|processes|None ("auto")
+    routing: str = "affinity"   # schema-affine placement | "round_robin"
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -78,17 +105,19 @@ class ServiceConfig:
             raise ValueError("max_requests must be >= 1")
         if self.slice_pops < 1:
             raise ValueError("slice_pops must be >= 1")
+        if self.routing not in ROUTING_MODES:
+            raise ValueError(f"routing must be one of {ROUTING_MODES}, "
+                             f"got {self.routing!r}")
 
 
 class _Request:
     """Loop-side bookkeeping for one admitted request."""
 
     def __init__(self, session: SynthesisSession, worker_id: int,
-                 deadline: Deadline,
                  loop: asyncio.AbstractEventLoop) -> None:
         self.session = session
         self.worker_id = worker_id
-        self.deadline = deadline
+        self.request_id: int | None = None      # assigned by the pool
         self.future: asyncio.Future = loop.create_future()
         self.stream_queue: asyncio.Queue = asyncio.Queue()
         self.state = QUEUED
@@ -97,8 +126,9 @@ class _Request:
 class RequestHandle:
     """The caller's view of one in-flight synthesis request."""
 
-    def __init__(self, request: _Request) -> None:
+    def __init__(self, request: _Request, service: "SynthesisService") -> None:
         self._request = request
+        self._service = service
 
     @property
     def status(self) -> str:
@@ -110,6 +140,13 @@ class RequestHandle:
 
     @property
     def session(self) -> SynthesisSession:
+        """The submitted session object.
+
+        On the thread tier this is the live search (pollable mid-flight);
+        on the process tier it is the loop-side shell whose ``stats`` the
+        service refreshes from each slice outcome — same fields, one
+        slice of staleness.
+        """
         return self._request.session
 
     async def result(self) -> SynthesisResult:
@@ -132,7 +169,7 @@ class RequestHandle:
     def cancel(self) -> None:
         """Stop the session at its next pop; the (partial, ranked) result
         still resolves."""
-        self._request.session.cancel()
+        self._service._cancel(self._request)
 
 
 class SynthesisService:
@@ -141,18 +178,22 @@ class SynthesisService:
     ``async with SynthesisService() as svc:`` then ``svc.submit(...)``
     from coroutines running on the same event loop.  A caller-supplied
     ``pool`` survives the service (warm state persists across service
-    restarts); an owned pool is closed with it.
+    restarts — and two services may share one pool); an owned pool is
+    closed with it.
     """
 
     def __init__(self, config: ServiceConfig | None = None,
                  pool: WorkerPool | None = None) -> None:
         self.config = config or ServiceConfig()
         self.pool = pool if pool is not None \
-            else WorkerPool(self.config.pool_size)
+            else WorkerPool(self.config.pool_size,
+                            backend=self.config.pool_backend)
         self._own_pool = pool is None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._live: set[_Request] = set()
         self._next_worker = 0
+        self._affinity: dict[tuple, int] = {}   # (warm key, env key) -> wid
+        self._env_keys: dict = {}               # env -> digest memo
         self._closed = False
 
     # --------------------------------------------------------- lifecycle
@@ -167,7 +208,7 @@ class SynthesisService:
         """Stop admitting, cancel live requests, drain the pool."""
         self._closed = True
         for request in list(self._live):
-            request.session.cancel()
+            self._cancel(request)
         if self._live:
             await asyncio.gather(
                 *(request.future for request in self._live),
@@ -184,14 +225,18 @@ class SynthesisService:
                technique: str = "provenance") -> RequestHandle:
         """Admit one synthesis request; returns immediately.
 
-        ``worker`` pins the request to a pool worker (tests and
-        schema-affinity routing); default assignment is round-robin.
-        ``timeout_s`` (or the service default) is the request's wall-clock
-        budget from admission — covering queueing, unlike the config's
-        ``timeout_s``, which meters active search time only.  Requests run
-        serial slices on their worker: ``config.workers`` is forced to 1
-        (cross-request parallelism is the service's axis; drive a
-        session yourself for intra-request sharding).
+        ``worker`` pins the request to a pool worker (tests and manual
+        placement); by default the service routes by schema affinity —
+        the ``(warm key, env digest)`` of the request goes to the worker
+        that has served it before, or to the least-loaded worker on first
+        sight.  ``timeout_s`` (or the service default) is the request's
+        wall-clock budget from admission — covering queueing, unlike the
+        config's ``timeout_s``, which meters active search time only.
+
+        ``config.workers > 1`` is honored: when the pool has idle
+        capacity the request's next turn runs to completion with the
+        remaining lanes re-dispatched onto shard workers (byte-identical
+        to slicing serially); under load it degrades to ordinary slices.
 
         Raises :class:`ServiceOverloaded` when ``max_requests`` requests
         are already live — callers retry with backoff, the paper's
@@ -207,55 +252,93 @@ class SynthesisService:
                 f"{len(self._live)} live requests (bound "
                 f"{self.config.max_requests}); retry later")
         cfg = config or SynthesisConfig()
-        if cfg.workers != 1:
-            cfg = cfg.replace(workers=1)
         session = SynthesisSession(tables, demo, cfg, abstraction=technique,
                                    stop=as_stop_spec(stop))
+        env_key = self._env_key(session.env)
         if worker is None:
-            worker = self._next_worker % self.pool.size
-            self._next_worker += 1
+            worker = self._route(warm_key(cfg, technique), env_key)
         elif not 0 <= worker < self.pool.size:
             raise ValueError(f"worker {worker} out of range "
                              f"[0, {self.pool.size})")
         budget = timeout_s if timeout_s is not None \
             else self.config.default_timeout_s
-        request = _Request(session, worker, Deadline(budget), self._loop)
+        request = _Request(session, worker, self._loop)
         self._live.add(request)
-        self.pool.submit(worker, lambda: self._advance(request))
-        return RequestHandle(request)
+        request.request_id = self.pool.submit_request(
+            session, worker_id=worker, slice_pops=self.config.slice_pops,
+            deadline=Deadline(budget), env_key=env_key,
+            on_slice=lambda outcome: self._on_slice(request, outcome))
+        return RequestHandle(request, self)
+
+    # ----------------------------------------------------------- routing
+    def _env_key(self, env: ast.Env) -> str:
+        key = self._env_keys.get(env)
+        if key is None:
+            if len(self._env_keys) >= _ROUTE_MEMO_LIMIT:
+                self._env_keys.clear()
+            key = env_digest(env)
+            self._env_keys[env] = key
+        return key
+
+    def _route(self, key: tuple, env_key: str) -> int:
+        """Pick a worker: sticky by request shape, least-loaded on first
+        sight (ties to the lowest id, so light load behaves like the old
+        round-robin no worse)."""
+        if self.config.routing == "round_robin":
+            worker = self._next_worker % self.pool.size
+            self._next_worker += 1
+            return worker
+        route = (key, env_key)
+        worker = self._affinity.get(route)
+        if worker is None:
+            depths = self.pool.queue_depths()
+            worker = min(range(len(depths)), key=lambda i: (depths[i], i))
+            if len(self._affinity) >= _ROUTE_MEMO_LIMIT:
+                self._affinity.clear()
+            self._affinity[route] = worker
+        return worker
 
     # ------------------------------------------------------- worker side
-    def _advance(self, request: _Request) -> None:
-        """One slice of one request, on its pool worker's thread."""
-        session = request.session
+    def _on_slice(self, request: _Request, outcome: SliceOutcome) -> None:
+        """One slice outcome, on a pool-owned thread."""
         loop = self._loop
         if request.state == QUEUED:
             request.state = RUNNING
-        timed_out = request.deadline.expired() and not session.done
-        if timed_out:
-            # The request's wall-clock budget (queueing included) is the
-            # service-level analogue of the config timeout: report the
-            # partial result with the same timed_out marker.
-            session.stats.timed_out = True
+        if outcome.error is not None:
+            loop.call_soon_threadsafe(self._fail, request, outcome.error)
+            return
+        if outcome.stats is not None \
+                and self.pool.backend_name == "processes":
+            # Refresh the loop-side shell so handle.session.stats tracks
+            # the search living in the worker process.  (On the thread
+            # tier the hosted session *is* the shell — don't replace the
+            # stats object under the running step loop.)
+            request.session.stats = outcome.stats
+        for query in outcome.new_queries:
+            loop.call_soon_threadsafe(
+                request.stream_queue.put_nowait, query)
+        if outcome.done:
+            state = TIMED_OUT if outcome.timed_out else (
+                CANCELLED if outcome.status == "cancelled" else DONE)
+            loop.call_soon_threadsafe(self._finalize, request,
+                                      outcome.result, state)
+        elif request.session.config.workers > 1 \
+                and self.pool.idle_workers(exclude=request.worker_id) > 0:
+            # Idle capacity and the request asked for parallelism: next
+            # turn re-dispatches the remaining lanes at a round boundary.
+            self.pool.run(request.request_id)
         else:
-            worker = self.pool.worker(request.worker_id)
-            engine, abstraction = worker.engine_for(
-                session.config, session.abstraction_spec)
-            session.attach_engine(engine, abstraction)
-            report = session.step(max_pops=self.config.slice_pops)
-            for query in report.new_queries:
-                loop.call_soon_threadsafe(
-                    request.stream_queue.put_nowait, query)
-        if session.done or timed_out:
-            result = session.result()
-            state = TIMED_OUT if timed_out else (
-                CANCELLED if session.status == "cancelled" else DONE)
-            loop.call_soon_threadsafe(self._finalize, request, result, state)
-        else:
-            # Back of this worker's queue: other live requests pinned here
-            # get their slice before our next one.
-            self.pool.submit(request.worker_id,
-                             lambda: self._advance(request))
+            # Back of this worker's queue: other live requests pinned
+            # here get their slice before our next one.
+            self.pool.step(request.request_id)
+
+    def _cancel(self, request: _Request) -> None:
+        # Flag the shell session (covers the thread tier, where it is
+        # the live search, and keeps handle.status honest) and the pool
+        # side (covers a process-hosted copy mid-slice).
+        request.session.cancel()
+        if request.request_id is not None:
+            self.pool.cancel(request.request_id)
 
     def _finalize(self, request: _Request, result: SynthesisResult,
                   state: str) -> None:
@@ -263,4 +346,13 @@ class SynthesisService:
         self._live.discard(request)
         if not request.future.done():
             request.future.set_result(result)
+        request.stream_queue.put_nowait(_EOS)
+
+    def _fail(self, request: _Request, error: str) -> None:
+        request.state = FAILED
+        self._live.discard(request)
+        if not request.future.done():
+            request.future.set_exception(
+                RuntimeError(f"request failed on worker "
+                             f"{request.worker_id}:\n{error}"))
         request.stream_queue.put_nowait(_EOS)

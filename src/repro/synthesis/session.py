@@ -126,6 +126,7 @@ class SynthesisSession:
             if isinstance(abstraction, str) else abstraction
         self._stop_built = None
         self._live_cancel = None                 # shard cancel token, if any
+        self._cancel_probe = None                # external cancel flag, if any
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -179,6 +180,7 @@ class SynthesisSession:
         engine, abstraction = self._engine, self._abstraction
         stop = self._stop_built
         worklist, stats = self._worklist, self.stats
+        probe = self._cancel_probe
         new_queries: list[ast.Query] = []
         pops = 0
         try:
@@ -195,6 +197,8 @@ class SynthesisSession:
                     stats.timed_out = True
                     self._finish()
                     break
+                if probe is not None and probe() and not self._cancelled:
+                    self.cancel()
                 if self._cancelled:
                     break
                 if max_pops is not None and pops >= max_pops:
@@ -263,6 +267,17 @@ class SynthesisSession:
         live = self._live_cancel
         if live is not None:
             live.propose(0)
+
+    def set_cancel_probe(self, probe) -> None:
+        """Watch an external cancellation flag from inside the step loop.
+
+        ``probe`` is a zero-argument callable polled once per pop; the
+        first truthy return behaves exactly like :meth:`cancel`.  This is
+        how a process-backed serving worker honors a cancel issued in the
+        service process mid-slice: the flag is a shared-memory value the
+        service flips, no queue round-trip involved.  Runtime-only state —
+        never checkpointed."""
+        self._cancel_probe = probe
 
     def _finish(self) -> None:
         self._phase = DONE
@@ -425,21 +440,49 @@ class SynthesisSession:
         return cfg.replace(**overrides) if overrides else cfg
 
     # -------------------------------------------------- checkpoint / resume
-    def checkpoint(self) -> bytes:
-        """Serialize the session to a resumable blob (side-effect free)."""
-        return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+    def checkpoint(self, strip_env: bool = False) -> bytes:
+        """Serialize the session to a resumable blob (side-effect free).
+
+        ``strip_env=True`` omits the input environment from the blob —
+        the dispatch mode of the process-backed serving tier, which ships
+        the tables once through the shared-memory column store
+        (:class:`~repro.engine.shm.EnvHandle`) instead of pickling them
+        into every request blob.  A stripped blob must be resumed with
+        ``resume(blob, env=...)`` supplying an ``==``-identical
+        environment (an shm-attached one qualifies: the codecs are exact).
+        """
+        if not strip_env:
+            return pickle.dumps(self, protocol=pickle.HIGHEST_PROTOCOL)
+        state = self.__getstate__()
+        state["env"] = None
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
 
     @staticmethod
-    def resume(blob: bytes) -> "SynthesisSession":
+    def resume(blob: bytes, env: ast.Env | None = None) -> "SynthesisSession":
         """Rebuild a session from :meth:`checkpoint` output.
 
         The resumed session owns no engine yet — the next ``step`` builds
-        a fresh one, or a pool worker attaches a warm one.
+        a fresh one, or a pool worker attaches a warm one.  ``env``
+        re-attaches the environment of an env-stripped blob (and must
+        compare equal to the original; engine and plan-cache keys are
+        equality-based, so an equal environment preserves byte-identical
+        results).
         """
-        session = pickle.loads(blob)
-        if not isinstance(session, SynthesisSession):
+        loaded = pickle.loads(blob)
+        if isinstance(loaded, dict):
+            session = SynthesisSession.__new__(SynthesisSession)
+            session.__setstate__(loaded)
+        elif isinstance(loaded, SynthesisSession):
+            session = loaded
+        else:
             raise TypeError(
-                f"not a SynthesisSession checkpoint: {type(session).__name__}")
+                f"not a SynthesisSession checkpoint: {type(loaded).__name__}")
+        if session.env is None:
+            if env is None:
+                raise ValueError(
+                    "checkpoint was taken with strip_env=True; resume() "
+                    "needs the env= argument to re-attach the tables")
+            session.env = env
         return session
 
     def __getstate__(self):
@@ -498,6 +541,7 @@ class SynthesisSession:
         self._abstraction = None
         self._stop_built = None
         self._live_cancel = None
+        self._cancel_probe = None
 
     def __repr__(self) -> str:
         return (f"SynthesisSession(status={self.status!r}, "

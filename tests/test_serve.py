@@ -1,24 +1,35 @@
-"""Serving-layer tests: warm pool, asyncio service, admission control.
+"""Serving-layer tests: backend-pluggable warm pool, asyncio service,
+admission control, schema-affinity routing.
 
 The service's pledge is the session's pledge plus scheduling: slicing,
-worker placement and warm engines change latency only — every request's
-ranked queries and ``SearchStats`` are byte-identical to an uninterrupted
+worker placement, warm engines and the choice of worker tier (threads or
+processes, fork or spawn) change latency only — every request's ranked
+queries and ``SearchStats`` are byte-identical to an uninterrupted
 serial run.  The asyncio legs run under ``asyncio.run`` (no plugin).
 """
 
 import asyncio
+import multiprocessing
 
 import pytest
 
 from repro.benchmarks import all_tasks
+from repro.engine.base import resolve_backend
 from repro.serve import (
     ServiceConfig,
     ServiceOverloaded,
     SynthesisService,
     WorkerPool,
+    resolve_pool_backend,
     warm_key,
 )
-from repro.synthesis import GroundTruthStop, SynthesisConfig, Synthesizer
+from repro.synthesis import (
+    GroundTruthStop,
+    SynthesisConfig,
+    SynthesisSession,
+    Synthesizer,
+)
+from repro.util.timer import Deadline
 
 TASKS = {t.name: t for t in all_tasks()}
 
@@ -36,6 +47,8 @@ VISITED_BUDGET = 400
 DETERMINISTIC_FIELDS = ("visited", "pruned", "expanded", "concrete_checked",
                         "consistent_found", "timed_out", "skeletons",
                         "max_skeleton_size")
+
+BACKENDS = ("threads", "processes")
 
 
 def _config(task, budget=VISITED_BUDGET, **overrides):
@@ -58,7 +71,8 @@ def _assert_identical(reference, result):
 
 def test_request_matches_uninterrupted_run():
     """Sliced, pool-scheduled execution is pure preemption: byte-identical
-    ranked queries and stats versus the classic serial run."""
+    ranked queries and stats versus the classic serial run (on whatever
+    tier the environment resolves — the CI matrix covers both)."""
     async def main():
         svc_cfg = ServiceConfig(pool_size=2, slice_pops=50)
         async with SynthesisService(svc_cfg) as svc:
@@ -73,6 +87,42 @@ def test_request_matches_uninterrupted_run():
                 assert handle.status == "done"
 
     asyncio.run(main())
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+@pytest.mark.parametrize("engine", ["columnar", "numpy"])
+def test_differential_thread_vs_process_tiers(start_method, engine):
+    """The tentpole differential: the same request set produces identical
+    ranked queries and SearchStats on the thread-backed and the
+    process-backed pool, under fork and spawn, columnar and numpy."""
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"{start_method} not supported here")
+    if engine == "numpy" and resolve_backend("numpy") != "numpy":
+        pytest.skip("NumPy not installed (numpy backend degrades)")
+    requests = [
+        (EASY, _config(EASY, backend=engine),
+         GroundTruthStop(EASY.ground_truth)),
+        (SHARED, _config(SHARED, backend=engine, top_n=5), None),
+    ]
+    references = [_reference(task, config, stop)
+                  for task, config, stop in requests]
+
+    async def tier(backend):
+        pool = WorkerPool(2, backend=backend, start_method=start_method
+                          if backend == "processes" else None)
+        svc_cfg = ServiceConfig(pool_size=2, slice_pops=40)
+        async with SynthesisService(svc_cfg, pool=pool) as svc:
+            handles = [svc.submit(task.tables, task.demonstration, config,
+                                  stop=stop)
+                       for task, config, stop in requests]
+            results = [await handle.result() for handle in handles]
+        pool.close()
+        return results
+
+    for backend in BACKENDS:
+        results = asyncio.run(tier(backend))
+        for reference, result in zip(references, results):
+            _assert_identical(reference, result)
 
 
 def test_stream_yields_hits_in_discovery_order():
@@ -127,9 +177,14 @@ def test_per_request_timeout_reports_timed_out():
     asyncio.run(main())
 
 
-def test_cancel_mid_flight_returns_partial_result():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_cancel_mid_flight_returns_partial_result(backend):
+    """Cancellation reaches a running slice on either tier — directly on
+    the shared session (threads), through the shared-memory flag the
+    session polls every pop (processes)."""
     async def main():
-        async with SynthesisService(ServiceConfig(slice_pops=20)) as svc:
+        svc_cfg = ServiceConfig(slice_pops=20, pool_backend=backend)
+        async with SynthesisService(svc_cfg) as svc:
             config = _config(HARD, budget=10**6, top_n=10**6)
             handle = svc.submit(HARD.tables, HARD.demonstration, config)
             # Let a few slices land, then pull the plug.
@@ -144,12 +199,14 @@ def test_cancel_mid_flight_returns_partial_result():
     asyncio.run(main())
 
 
-def test_warm_worker_reuses_engine_and_shares_plans():
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_warm_worker_reuses_engine_and_shares_plans(backend):
     """The pool's two latency tiers: same worker + same request shape
     reuses the warm engine outright; a *different* worker's fresh engine
-    still gets cross-request sub-plan hits from the pool-wide cache."""
+    still gets cross-request sub-plan hits from the shared cache tier
+    (pool-wide dict on threads, shm-digest index across processes)."""
     async def main():
-        pool = WorkerPool(2)
+        pool = WorkerPool(2, backend=backend)
         async with SynthesisService(pool=pool) as svc:
             config = _config(SHARED)
             cold = svc.submit(SHARED.tables, SHARED.demonstration, config,
@@ -162,10 +219,9 @@ def test_warm_worker_reuses_engine_and_shares_plans():
                               worker=0)
             second = await warm.result()
             _assert_identical(first, second)
-            assert pool.worker(0).warm_hits >= 1
 
-            # Other worker, fresh engine: the pool-wide sub-plan cache
-            # serves blocks the first request published.
+            # Other worker, fresh engine: the shared sub-plan tier serves
+            # blocks the first request published.
             other = svc.submit(SHARED.tables, SHARED.demonstration, config,
                                worker=1)
             third = await other.result()
@@ -173,10 +229,57 @@ def test_warm_worker_reuses_engine_and_shares_plans():
             assert third.engine_stats.cross_shard_hits >= 1
 
             telemetry = pool.telemetry()
+            assert telemetry["backend"] == backend
             assert telemetry["cold_builds"] == 2    # one per worker
             assert telemetry["warm_hits"] >= 1
             assert telemetry["warm_keys"] == 2
+            per_worker = telemetry["per_worker"]
+            assert [w["worker_id"] for w in per_worker] == [0, 1]
+            assert per_worker[0]["warm_hits"] >= 1  # the repeat landed here
+            assert all(w["queue_depth"] == 0 for w in per_worker)
+            assert sum(w["slices"] for w in per_worker) >= 3
         pool.close()
+
+    asyncio.run(main())
+
+
+def test_affinity_routing_raises_warm_hit_rate():
+    """Schema-affinity placement vs blind rotation on a repeated-schema
+    mix cycling through a two-worker pool.  Affinity pins each request
+    shape to one worker — exactly one cold serve per distinct
+    ``(warm key, env digest)``; round-robin scatters every shape across
+    both workers — the measurable win the routing exists for."""
+    from repro.parallel.plan_cache import env_digest
+
+    mix = [EASY, HARD, SHARED]
+    distinct = len({
+        (warm_key(_config(task, budget=60, top_n=10**6), "provenance"),
+         env_digest(SynthesisSession(task.tables, task.demonstration).env))
+        for task in mix})
+
+    async def run_mix(routing):
+        svc_cfg = ServiceConfig(pool_size=2, slice_pops=100,
+                                pool_backend="threads", routing=routing)
+        async with SynthesisService(svc_cfg) as svc:
+            for _ in range(3):
+                for task in mix:
+                    handle = svc.submit(task.tables, task.demonstration,
+                                        _config(task, budget=60,
+                                                top_n=10**6))
+                    await handle.result()
+            telemetry = svc.pool.telemetry()
+        return telemetry["warm_hits"], telemetry["warm_misses"]
+
+    async def main():
+        affinity_hits, affinity_misses = await run_mix("affinity")
+        rr_hits, rr_misses = await run_mix("round_robin")
+        assert affinity_hits + affinity_misses == 9
+        assert rr_hits + rr_misses == 9
+        # Perfect stickiness: one cold serve per distinct shape...
+        assert affinity_misses == distinct
+        # ...while rotation re-serves every shape cold on both workers.
+        assert rr_misses == 2 * distinct
+        assert affinity_hits > rr_hits
 
     asyncio.run(main())
 
@@ -187,20 +290,44 @@ def test_warm_key_ignores_budgets_but_splits_techniques():
         warm_key(base.replace(max_visited=7, top_n=3), "provenance")
     assert warm_key(base, "provenance") != warm_key(base, "value")
     # A numpy request degraded to the fallback shares that warm engine.
-    from repro.engine.base import resolve_backend
     if resolve_backend("numpy") == resolve_backend("columnar"):
         assert warm_key(base.replace(backend="numpy"), "provenance") == \
             warm_key(base.replace(backend="columnar"), "provenance")
 
 
-def test_submit_forces_serial_sessions_and_validates_worker():
+def test_resolve_pool_backend(monkeypatch):
+    monkeypatch.delenv("REPRO_POOL_BACKEND", raising=False)
+    assert resolve_pool_backend(None, 1) == "threads"
+    assert resolve_pool_backend(None, 2) == "processes"
+    assert resolve_pool_backend("auto", 4) == "processes"
+    assert resolve_pool_backend("threads", 4) == "threads"
+    monkeypatch.setenv("REPRO_POOL_BACKEND", "threads")
+    assert resolve_pool_backend(None, 4) == "threads"
+    # Explicit argument beats the environment.
+    assert resolve_pool_backend("processes", 4) == "processes"
+    with pytest.raises(ValueError, match="unknown pool backend"):
+        resolve_pool_backend("fibers", 2)
+    with pytest.raises(ValueError, match="routing"):
+        ServiceConfig(routing="random")
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_intra_request_fanout_is_byte_identical(backend):
+    """workers > 1 is honored inside the service: with idle pool capacity
+    the request re-dispatches its remaining lanes at a round boundary —
+    and the result is still byte-identical to the serial run."""
+    serial = _config(HARD, budget=300, top_n=10**6)
+    reference = _reference(HARD, serial)
+    fan = serial.replace(workers=2, parallel_executor="thread")
+
     async def main():
-        async with SynthesisService(ServiceConfig(pool_size=2)) as svc:
-            handle = svc.submit(EASY.tables, EASY.demonstration,
-                                _config(EASY, workers=4,
-                                        parallel_executor="thread"))
-            assert handle.session.config.workers == 1
-            await handle.result()
+        svc_cfg = ServiceConfig(pool_size=2, slice_pops=30,
+                                pool_backend=backend)
+        async with SynthesisService(svc_cfg) as svc:
+            handle = svc.submit(HARD.tables, HARD.demonstration, fan)
+            result = await handle.result()
+            _assert_identical(reference, result)
+            assert result.workers == 2      # the sharded path actually ran
             with pytest.raises(ValueError, match="out of range"):
                 svc.submit(EASY.tables, EASY.demonstration, worker=2)
 
@@ -240,10 +367,30 @@ def test_caller_supplied_pool_survives_service():
         assert telemetry["warm_hits"] >= 1
         pool.close()
         pool.close()                    # idempotent
+        session = SynthesisSession(SHARED.tables, SHARED.demonstration,
+                                   _config(SHARED))
         with pytest.raises(RuntimeError, match="closed"):
-            pool.submit(0, lambda: None)
+            pool.submit_request(session, worker_id=0, slice_pops=10,
+                                deadline=Deadline(None), env_key="x",
+                                on_slice=lambda outcome: None)
 
     asyncio.run(main())
+
+
+def test_close_surfaces_stuck_worker_instead_of_hanging():
+    """A worker mid-slice past the drain timeout is reported, not waited
+    on forever — interpreter shutdown can't hang on the pool."""
+    pool = WorkerPool(1, backend="threads")
+    session = SynthesisSession(
+        HARD.tables, HARD.demonstration,
+        _config(HARD, budget=20000, top_n=10**6))
+    pool.submit_request(session, worker_id=0, slice_pops=10**9,
+                        deadline=Deadline(None), env_key="stuck",
+                        on_slice=lambda outcome: None)
+    with pytest.raises(RuntimeError, match="did not drain"):
+        pool.close(timeout_s=0.05)
+    session.cancel()                    # let the daemon thread wind down
+    pool.close()                        # already closed: no-op, no raise
 
 
 def test_slices_interleave_requests_on_one_worker():
@@ -257,12 +404,35 @@ def test_slices_interleave_requests_on_one_worker():
                               worker=0)
             right = svc.submit(HARD.tables, HARD.demonstration, config,
                                worker=0)
-            # Wait until both have run at least one slice.
-            while min(left.session.stats.visited,
-                      right.session.stats.visited) < 50:
+            # Both reach RUNNING mid-flight: neither ran to completion
+            # before the other got its first slice on the shared worker.
+            while left.status != "running" or right.status != "running":
                 await asyncio.sleep(0.001)
-            assert left.status == "running" and right.status == "running"
+            assert min(left.session.stats.visited,
+                       right.session.stats.visited) > 0
             results = await asyncio.gather(left.result(), right.result())
             _assert_identical(results[0], results[1])
 
     asyncio.run(main())
+
+
+def test_process_tier_leaves_no_shm_segments():
+    """Every env segment, plan publish and manager resource is reclaimed
+    when the pool closes — the serve-side leak check CI runs on the
+    process tier."""
+    from repro.engine import shm
+
+    async def main():
+        svc_cfg = ServiceConfig(pool_size=2, slice_pops=50,
+                                pool_backend="processes")
+        async with SynthesisService(svc_cfg) as svc:
+            prefix = svc.pool._backend.prefix
+            handles = [svc.submit(task.tables, task.demonstration,
+                                  _config(task))
+                       for task in (EASY, SHARED)]
+            for handle in handles:
+                await handle.result()
+        return prefix
+
+    prefix = asyncio.run(main())
+    assert shm.scan_segments(prefix) == []

@@ -332,3 +332,60 @@ def test_workers_require_named_abstraction():
                                abstraction=make_abstraction("none"))
     with pytest.raises(ValueError, match="requires the abstraction"):
         session.run()
+
+
+def test_stripped_checkpoint_resumes_with_supplied_env():
+    """``checkpoint(strip_env=True)`` is the process-tier wire format:
+    the blob carries search state only, the tables travel once over the
+    shared-memory store and are re-attached at resume.  Resuming with
+    the (equal) env is byte-identical to the env-carrying round trip."""
+    task = HARD_TASK
+    config = _config(task)
+    session = _session(task, config)
+    session.step(max_pops=137)
+
+    full = session.checkpoint()
+    lean = session.checkpoint(strip_env=True)
+    assert len(lean) < len(full)        # the tables dominate the blob
+
+    with pytest.raises(ValueError, match="env"):
+        SynthesisSession.resume(lean)
+
+    reference = SynthesisSession.resume(full).run()
+    resumed = SynthesisSession.resume(lean, env=session.env).run()
+    _assert_identical(reference, resumed)
+    # strip_env is side-effect free: the live session kept its env.
+    assert session.env is not None
+    _assert_identical(reference, session.run())
+
+
+def test_cancel_probe_polled_every_pop():
+    """The process tier cancels through ``set_cancel_probe`` — a flag
+    the step loop polls once per pop, so a cross-process cancel lands
+    mid-slice without waiting for the slice boundary."""
+    task = HARD_TASK
+    session = _session(task, _config(task, budget=10**6, top_n=10**6))
+    flag = {"set": False}
+    polls = {"n": 0}
+
+    def probe():
+        polls["n"] += 1
+        if polls["n"] >= 25:
+            flag["set"] = True
+        return flag["set"]
+
+    session.set_cancel_probe(probe)
+    report = session.step()              # unbounded — the probe cuts it off
+    assert session.status == "cancelled"
+    assert report.done and report.status == "cancelled"
+    assert session.stats.visited < 10**6
+    assert polls["n"] >= 25
+
+    # The probe is session-local plumbing: it never crosses a pickle
+    # boundary (a resumed copy polls nothing and runs to its budget).
+    fresh = _session(task, _config(task, budget=60))
+    fresh.set_cancel_probe(lambda: True)
+    clone = SynthesisSession.resume(fresh.checkpoint())
+    assert clone._cancel_probe is None
+    clone.run()
+    assert clone.status != "cancelled"

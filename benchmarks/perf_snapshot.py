@@ -1,6 +1,6 @@
 """Write a perf-trajectory snapshot (``BENCH_<date>.json``).
 
-Runs the seven micro-benchmarks — engine (columnar vs row on the
+Runs the micro-benchmarks — engine (columnar vs row on the
 forum-easy evaluation hot path), tracking (columnar vs row provenance
 tracking on provenance-heavy forum tasks), consistency (incremental
 checker vs naive Definition 1 on consistency-heavy tasks), numpy
@@ -9,9 +9,11 @@ and tracking; recorded as unavailable without NumPy), parallel
 (sharded vs serial on forum-hard experiment mode), dispatch
 (shared-memory handle vs pickled-table payload bytes, plus the
 skewed-lane imbalance of static shard planning), serve (warm-pool
-vs cold request latency on repeated-schema service traffic) and pool
+vs cold request latency on repeated-schema service traffic), pool
 (thread-tier vs process-tier aggregate throughput for concurrent
-CPU-bound requests) — and records their timings plus environment
+CPU-bound requests) and recovery (clean vs crashed-and-replayed run of
+one request, the fault-tolerance overhead) — and records their timings
+plus environment
 metadata as one JSON document.  The nightly
 ``perf.yml`` workflow uploads these as artifacts, giving the repo a
 queryable performance history; ratios are recorded, never asserted
@@ -208,6 +210,23 @@ def pool_snapshot(budget: int) -> dict:
     }
 
 
+def recovery_snapshot() -> dict:
+    """Crash-recovery overhead: the same request clean vs under an
+    injected crash-before-first-slice (supervised restart + checkpoint
+    replay), results asserted identical inside the measurement.  Wall
+    clock is platform noise; the restart/death counters are the
+    behavioral trajectory point."""
+    m = serve_bench.recovery_measurements()
+    return {
+        "task": serve_bench.SERVE_TASK,
+        "clean_ms": round(m["clean_s"] * 1000, 2),
+        "crashed_ms": round(m["crashed_s"] * 1000, 2),
+        "recovery_overhead_ms": round(m["recovery_overhead_s"] * 1000, 2),
+        "restarts": m["restarts"],
+        "worker_deaths": m["worker_deaths"],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="perf_snapshot")
     parser.add_argument("--out", default=None,
@@ -240,6 +259,7 @@ def main(argv=None) -> int:
         "dispatch": dispatch_snapshot(),
         "serve": serve_snapshot(args.serve_pairs),
         "pool": pool_snapshot(args.pool_budget),
+        "recovery": recovery_snapshot(),
     }
     with open(out_path, "w", encoding="utf-8") as fh:
         json.dump(snapshot, fh, indent=2)

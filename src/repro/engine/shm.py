@@ -278,10 +278,18 @@ class ShmStore:
     # ------------------------------------------------------------- lifecycle
     def _new_segment(self, nbytes: int,
                      disown: bool) -> shared_memory.SharedMemory:
-        name = f"{self.prefix}_{self._seq}"
-        self._seq += 1
-        seg = shared_memory.SharedMemory(name=name, create=True,
-                                         size=max(nbytes, 1))
+        while True:
+            name = f"{self.prefix}_{self._seq}"
+            self._seq += 1
+            try:
+                seg = shared_memory.SharedMemory(name=name, create=True,
+                                                 size=max(nbytes, 1))
+                break
+            except FileExistsError:
+                # A predecessor with this prefix left the name behind
+                # (a crashed worker's disowned publish not yet swept);
+                # skip it rather than fail the publish.
+                continue
         if disown:
             # The coordinator's end-of-run sweep owns the unlink; without
             # this, a spawn-worker's resource tracker would unlink the

@@ -21,9 +21,14 @@ Options: ``--suite forum|tpcds``, ``--difficulty easy|hard``,
 :class:`repro.serve.SynthesisService` — the way to exercise the warm
 pool from the command line.  Extra options: ``--pool-backend
 auto|threads|processes`` (worker tier; ``REPRO_POOL_BACKEND`` overrides
-the ``auto`` default), ``--pool-size N``, ``--slice-pops N`` and
+the ``auto`` default), ``--pool-size N``, ``--slice-pops N``,
 ``--request-timeout S`` (per-request wall-clock budget, queueing
-included).
+included), ``--max-requests N`` (admission bound; rejected submissions
+back off per the service's ``retry_after_s`` hint with jitter) and
+``--faults SPEC`` (deterministic chaos, e.g.
+``seed=7,crash_before=1.0`` — same syntax as ``REPRO_FAULTS``).  The
+final JSON blob includes ``health`` (per-worker liveness and recovery
+counters) next to the pool telemetry.
 """
 
 from __future__ import annotations
@@ -77,39 +82,63 @@ def _run(args):
 
 def _serve(args) -> int:
     """Run the selected tasks through the serving layer, concurrently."""
+    import random
+
     from repro.experiments.runner import task_config
-    from repro.serve import ServiceConfig, SynthesisService
+    from repro.serve import ServiceConfig, ServiceOverloaded, \
+        SynthesisService, parse_faults
     from repro.synthesis import GroundTruthStop
 
     tasks = _select_tasks(args)
     techniques = tuple(args.techniques.split(","))
     run_config = build_run_config(args)
+    max_requests = args.max_requests if args.max_requests is not None \
+        else len(tasks) * len(techniques) or 1
     svc_config = ServiceConfig(
-        pool_size=args.pool_size, max_requests=len(tasks) * len(techniques)
-        or 1, slice_pops=args.slice_pops, pool_backend=args.pool_backend,
-        default_timeout_s=args.request_timeout)
+        pool_size=args.pool_size, max_requests=max_requests,
+        slice_pops=args.slice_pops, pool_backend=args.pool_backend,
+        default_timeout_s=args.request_timeout,
+        faults=parse_faults(args.faults))
+
+    async def admit(svc, task, technique):
+        """Submit one request, honoring the service's backoff hint: an
+        overloaded admission sleeps ``retry_after_s`` (jittered, so
+        concurrent clients don't retry in lockstep) instead of failing
+        the sweep."""
+        while True:
+            try:
+                return svc.submit(task.tables, task.demonstration,
+                                  task_config(task, run_config),
+                                  stop=GroundTruthStop(task.ground_truth),
+                                  technique=technique)
+            except ServiceOverloaded as exc:
+                await asyncio.sleep(
+                    exc.retry_after_s * (0.5 + random.random()))
 
     async def drive() -> int:
         failures = 0
         async with SynthesisService(svc_config) as svc:
-            handles = [
-                (task, technique,
-                 svc.submit(task.tables, task.demonstration,
-                            task_config(task, run_config),
-                            stop=GroundTruthStop(task.ground_truth),
-                            technique=technique))
-                for task in tasks for technique in techniques]
-            for task, technique, handle in handles:
+            async def one(task, technique):
+                handle = await admit(svc, task, technique)
                 result = await handle.result()
+                return task, technique, handle, result
+
+            outcomes = await asyncio.gather(
+                *(one(task, technique)
+                  for task in tasks for technique in techniques))
+            for task, technique, handle, result in outcomes:
                 solved = result.target is not None
                 failures += not solved
+                retried = f" retries={handle.retries}" \
+                    if handle.retries else ""
                 print(f"[{technique:10s}] {task.name:42s} "
                       f"{'solved' if solved else handle.status:8s} "
                       f"{result.stats.elapsed_s:7.2f}s "
                       f"visited={result.stats.visited} "
-                      f"worker={handle.worker_id}", flush=True)
+                      f"worker={handle.worker_id}{retried}", flush=True)
             telemetry = svc.pool.telemetry()
-        print(json.dumps({"pool": telemetry}, indent=2))
+            health = svc.health()
+        print(json.dumps({"pool": telemetry, "health": health}, indent=2))
         return 1 if failures else 0
 
     return asyncio.run(drive())
@@ -154,6 +183,16 @@ def main(argv=None) -> int:
     parser.add_argument("--request-timeout", type=float, default=None,
                         help="serve: per-request wall-clock budget in "
                              "seconds, queueing included")
+    parser.add_argument("--max-requests", type=int, default=None,
+                        help="serve: live-request admission bound "
+                             "(default: one slot per submitted request); "
+                             "rejected submissions back off per the "
+                             "service's retry_after_s hint")
+    parser.add_argument("--faults", default=None,
+                        help="serve: deterministic fault-injection plan, "
+                             "e.g. 'seed=7,crash_before=1.0' (also via "
+                             "REPRO_FAULTS); chaos-tests the recovery "
+                             "path from the command line")
     args = parser.parse_args(argv)
 
     if args.command == "serve":

@@ -206,9 +206,15 @@ class ProcessPlanClient:
             return 0
         if self._store is None:
             self._store = shm.ShmStore(prefix=self._prefix)
-        # Disowned: the segment must outlive this worker (siblings read it
-        # until the run ends); the coordinator's prefix sweep reclaims it.
-        handle = self._store.publish_block(columns, n_rows, disown=True)
+        try:
+            # Disowned: the segment must outlive this worker (siblings
+            # read it until the run ends); the coordinator's prefix sweep
+            # reclaims it.
+            handle = self._store.publish_block(columns, n_rows, disown=True)
+        except OSError:
+            # /dev/shm exhausted (or otherwise unwritable): a sub-plan
+            # that simply doesn't get shared, never a failed request.
+            return 0
         try:
             existing = self._index.setdefault(self._key(query, env), handle)
         except (EOFError, BrokenPipeError, ConnectionError):

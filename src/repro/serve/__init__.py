@@ -8,6 +8,13 @@ checkpoint blobs over the shared-memory column store — the default
 whenever the pool is larger than one worker.  Both tiers share one
 sub-plan cache stack and produce byte-identical results.
 
+Fault tolerance: the pool supervises its workers (restart with backoff,
+degrade to threads as a last resort) and the service replays a dead
+worker's requests from their latest slice-boundary checkpoints —
+transparently, because results are deterministic.  Deterministic chaos
+for testing all of it lives in :mod:`repro.serve.faults`
+(:class:`~repro.serve.faults.FaultPlan` / ``REPRO_FAULTS``).
+
 Layering: sits beside :mod:`repro.experiments`, above
 :mod:`repro.synthesis` — requests are
 :class:`~repro.synthesis.session.SynthesisSession` objects, and the pool
@@ -15,10 +22,18 @@ reuses the cross-shard sub-plan cache and shm column store from
 :mod:`repro.parallel` / :mod:`repro.engine.shm`.
 """
 
+from repro.serve.faults import (
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    parse_faults,
+)
 from repro.serve.pool import (
     POOL_BACKENDS,
+    WORKER_DIED,
     PoolBackend,
     ProcessBackend,
+    RecoveryTelemetry,
     SliceOutcome,
     ThreadBackend,
     WorkerPool,
@@ -36,7 +51,8 @@ from repro.serve.service import (
 __all__ = [
     "WorkerPool", "PoolBackend", "ThreadBackend", "ProcessBackend",
     "POOL_BACKENDS", "resolve_pool_backend", "warm_key",
-    "SliceOutcome", "WorkerTelemetry",
+    "SliceOutcome", "WorkerTelemetry", "RecoveryTelemetry", "WORKER_DIED",
+    "FaultPlan", "FaultInjector", "InjectedCrash", "parse_faults",
     "SynthesisService", "ServiceConfig", "ServiceOverloaded",
     "RequestHandle",
 ]

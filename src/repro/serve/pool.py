@@ -40,19 +40,32 @@ original, so a process-hosted session's ranked queries and
 ``SearchStats`` are byte-identical to the same session sliced on a
 thread worker (or never sliced at all), under fork and spawn alike.
 
-Known limitation: a worker process killed from outside (OOM, SIGKILL)
-strands its hosted requests until ``close()`` — the service's per-request
-deadlines are the backstop, and ``close()`` surfaces stuck workers as an
-error instead of hanging interpreter shutdown.
+Fault tolerance (PR 9).  A supervisor thread in the facade watches for
+dead workers (process exitcode, crashed thread) and hung slices (no
+per-worker progress within ``slice_timeout_s``), and on failure: marks
+the worker down, bumps its *incarnation* (stale outcomes and ops from
+the dead incarnation are dropped by tag), fails its hosted requests over
+to the caller as ``status="worker_died"`` outcomes, and restarts the
+worker with exponential backoff.  A restarted process worker gets a
+fresh job queue, a swept plan-cache shard (``drop_shard``), and cold
+warm/affinity state.  When every restart attempt fails the pool degrades
+to the thread backend with a logged warning rather than dying.  Every
+non-terminal :class:`SliceOutcome` carries the session's latest
+slice-boundary checkpoint, which is what lets the service above replay a
+request on a healthy worker with byte-identical results — crashes cost
+latency, never correctness.  Deterministic chaos for all of this comes
+from :mod:`repro.serve.faults`.
 """
 
 from __future__ import annotations
 
 import atexit
 import gc
+import logging
 import os
 import queue
 import threading
+import time
 import traceback
 from collections.abc import Callable
 from dataclasses import dataclass, field
@@ -62,20 +75,44 @@ from repro.engine import shm
 from repro.engine.base import EvalEngine, make_engine, resolve_backend
 from repro.parallel.executor import pick_context
 from repro.parallel.plan_cache import LocalPlanCache, ProcessPlanCache
+from repro.serve.faults import (
+    FAULT_EXITCODE,
+    FaultInjector,
+    FaultPlan,
+    InjectedCrash,
+    make_injector,
+    plan_from_env,
+)
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.enumerator import SearchStats, SynthesisResult
 from repro.synthesis.session import SynthesisSession
 from repro.synthesis.synthesizer import build_abstraction
 from repro.util.timer import Deadline
 
+_LOG = logging.getLogger("repro.serve")
+
 #: Stop sentinel for thread-worker queues (``None`` would shadow a job).
 _SHUTDOWN = object()
 
 POOL_BACKENDS = ("threads", "processes")
 
+#: Outcome status for a request whose worker died under it — the signal
+#: the service's checkpoint-replay recovery keys on.
+WORKER_DIED = "worker_died"
+
 #: Bound on close()'s drain-and-join; workers still alive after it are
 #: terminated and reported, never waited on forever.
 POOL_CLOSE_TIMEOUT_S = 10.0
+
+#: Supervisor sweep cadence (seconds) — bounds failure-detection latency.
+SUPERVISE_INTERVAL_S = 0.1
+
+#: First restart backoff; doubles per failed spawn attempt.
+RESTART_BACKOFF_S = 0.05
+
+#: Spawn attempts per worker failure before the pool degrades to the
+#: thread backend.
+MAX_SPAWN_ATTEMPTS = 3
 
 #: Shared cancel-flag slots per process pool.  Live requests are bounded
 #: by service admission (default 8), so exhaustion is theoretical; a
@@ -134,13 +171,38 @@ class WorkerTelemetry:
 
 
 @dataclass
+class RecoveryTelemetry:
+    """Pool-wide fault-tolerance counters (facade-owned)."""
+
+    worker_deaths: int = 0       # dead workers detected (exitcode/thread)
+    hangs: int = 0               # hung slices detected (progress timeout)
+    restarts: int = 0            # successful worker restarts
+    spawn_failures: int = 0      # failed restart attempts
+    backend_degradations: int = 0  # process pool fell back to threads
+    shm_degradations: int = 0    # env publishes that fell back to pickling
+
+    def as_dict(self) -> dict:
+        return {
+            "worker_deaths": self.worker_deaths, "hangs": self.hangs,
+            "restarts": self.restarts,
+            "spawn_failures": self.spawn_failures,
+            "backend_degradations": self.backend_degradations,
+            "shm_degradations": self.shm_degradations,
+        }
+
+
+@dataclass
 class SliceOutcome:
     """What one op produced — the only thing a backend ships back.
 
     ``stats`` is a snapshot for observability (the process tier has no
     live session object to poll); ``result`` is set exactly once, on the
     terminal outcome.  ``telemetry`` piggybacks the worker's counters so
-    the coordinator needs no side channel.
+    the coordinator needs no side channel.  ``checkpoint`` carries the
+    session's slice-boundary state on every non-terminal outcome — the
+    replay point should the worker die before the next one.
+    ``incarnation`` tags which life of the worker produced this; the
+    facade drops outcomes from dead incarnations.
     """
 
     request_id: int
@@ -154,6 +216,8 @@ class SliceOutcome:
     result: SynthesisResult | None = None
     error: str | None = None
     telemetry: WorkerTelemetry | None = None
+    checkpoint: bytes | None = None
+    incarnation: int = 0
 
 
 class _Hosted:
@@ -174,11 +238,18 @@ class _SessionHost:
     Owns the warm engine cache, the warm-hit accounting, and the hosted
     sessions — a thread worker runs it in the service process, a process
     worker in its own interpreter, and the op semantics are identical.
+    ``injector`` is the fault-injection hook (chaos tests); ``None``
+    means no faults.
     """
 
-    def __init__(self, worker_id: int, plan_cache) -> None:
+    def __init__(self, worker_id: int, plan_cache, incarnation: int = 0,
+                 injector: FaultInjector | None = None,
+                 checkpoints: bool = True) -> None:
         self.worker_id = worker_id
         self.plan_cache = plan_cache
+        self.incarnation = incarnation
+        self.injector = injector
+        self.checkpoints = checkpoints
         self._warm: dict[tuple, tuple[EvalEngine, Abstraction]] = {}
         self._served: set[tuple] = set()    # (warm key, env digest) pairs
         self._sessions: dict[int, _Hosted] = {}
@@ -232,8 +303,16 @@ class _SessionHost:
             session.stats.timed_out = True
             return self._complete(request_id, [], timed_out=True)
         self._attach(hosted)
+        injector = self.injector
+        if injector is not None:
+            injector.slice_begin(session)
         report = session.step(max_pops=hosted.slice_pops)
         self._counts.slices += 1
+        if injector is not None:
+            # After the work, before the outcome ships: a crash here
+            # loses a fully executed slice — the replay window recovery
+            # must cover (the checkpoint below never leaves the worker).
+            injector.slice_end()
         if session.done:
             return self._complete(request_id, report.new_queries,
                                   timed_out=False)
@@ -241,7 +320,9 @@ class _SessionHost:
             request_id=request_id, worker_id=self.worker_id,
             pops=report.pops, new_queries=list(report.new_queries),
             stats=SearchStats(**session.stats.as_dict()), done=False,
-            status=session.status, telemetry=self.telemetry())
+            status=session.status, telemetry=self.telemetry(),
+            checkpoint=self._slice_checkpoint(session),
+            incarnation=self.incarnation)
 
     def run_session(self, request_id: int) -> SliceOutcome:
         """Drive a hosted session to completion in one op.
@@ -256,13 +337,23 @@ class _SessionHost:
             session.stats.timed_out = True
             return self._complete(request_id, [], timed_out=True)
         self._attach(hosted)
+        injector = self.injector
+        if injector is not None:
+            injector.slice_begin(session)
         found_before = len(session.result(ranked=False).queries)
         session.run()
         self._counts.slices += 1
+        if injector is not None:
+            injector.slice_end()
         new = session.result(ranked=False).queries[found_before:]
         return self._complete(request_id, new, timed_out=False)
 
     def cancel_session(self, request_id: int) -> None:
+        if self.injector is not None:
+            # The cancel-vs-crash race site: the worker dies exactly
+            # while applying a cancel — recovery must still end the
+            # request "cancelled".
+            self.injector.on_cancel()
         hosted = self._sessions.get(request_id)
         if hosted is not None:
             hosted.session.cancel()
@@ -291,6 +382,16 @@ class _SessionHost:
             # zero-copy blocks back without re-decoding.
             engine.adopt_env(session.env, hosted.adopted)
 
+    def _slice_checkpoint(self, session: SynthesisSession) -> bytes | None:
+        if not self.checkpoints:
+            return None
+        try:
+            return session.checkpoint(strip_env=True)
+        except Exception:
+            # Unpicklable session (pre-built Abstraction object): no
+            # replay point, but the request itself still runs fine.
+            return None
+
     def _complete(self, request_id: int, new_queries,
                   timed_out: bool) -> SliceOutcome:
         hosted = self._sessions.pop(request_id)
@@ -300,7 +401,7 @@ class _SessionHost:
             request_id=request_id, worker_id=self.worker_id,
             new_queries=list(new_queries), stats=result.stats, done=True,
             status=session.status, timed_out=timed_out, result=result,
-            telemetry=self.telemetry())
+            telemetry=self.telemetry(), incarnation=self.incarnation)
 
 
 def _error_outcome(host: _SessionHost, request_id: int) -> SliceOutcome:
@@ -308,12 +409,17 @@ def _error_outcome(host: _SessionHost, request_id: int) -> SliceOutcome:
     return SliceOutcome(
         request_id=request_id, worker_id=host.worker_id, done=True,
         status="error", error=traceback.format_exc(),
-        telemetry=host.telemetry())
+        telemetry=host.telemetry(), incarnation=host.incarnation)
 
 
 def _apply_op(host: _SessionHost, kind: str, request_id: int,
               open_session: Callable[[], SliceOutcome]) -> SliceOutcome:
-    """Shared op dispatch: every op but cancel/close yields one outcome."""
+    """Shared op dispatch: every op but cancel/close yields one outcome.
+
+    Catches ``Exception`` only — an :class:`InjectedCrash` (a
+    ``BaseException``) deliberately escapes and kills the worker, so
+    chaos exercises supervision rather than this error net.
+    """
     try:
         if kind == "open":
             return open_session()
@@ -332,7 +438,8 @@ class PoolBackend:
     One method per op; ops targeting one worker execute strictly in
     submission order, and every open/step/run eventually produces exactly
     one :class:`SliceOutcome` delivered to the dispatch callback (from a
-    backend-owned thread — never the caller's).
+    backend-owned thread — never the caller's) *while the producing
+    worker stays alive*; supervision synthesizes the outcome otherwise.
     """
 
     name: str
@@ -354,17 +461,41 @@ class PoolBackend:
     def telemetry(self, worker_id: int) -> WorkerTelemetry:
         raise NotImplementedError
 
+    # ------------------------------------------------------- supervision
+    def dead_workers(self) -> list[tuple[int, str]]:
+        """(worker_id, reason) for workers that died since last asked."""
+        return []
+
+    def restart_worker(self, worker_id: int, incarnation: int) -> None:
+        """Replace a dead/hung worker with a fresh incarnation.  Raises
+        (e.g. ``OSError``) when the replacement cannot be spawned."""
+        raise NotImplementedError
+
+    def forget(self, request_id: int) -> None:
+        """Release per-request backend resources after a failover."""
+
     def close(self, timeout_s: float) -> list[int]:
         """Drain and join; returns ids of workers that had to be killed."""
         raise NotImplementedError
+
+    def destroy(self) -> None:
+        """Immediate teardown (no drain) — the degrade path.  Must not
+        raise."""
+        self.close(timeout_s=0.1)
 
 
 class _ThreadWorker:
     """One warm thread worker: a queue, a thread, a session host."""
 
     def __init__(self, worker_id: int, plan_cache,
-                 dispatch: Callable[[SliceOutcome], None]) -> None:
-        self.host = _SessionHost(worker_id, plan_cache)
+                 dispatch: Callable[[SliceOutcome], None],
+                 incarnation: int = 0,
+                 injector: FaultInjector | None = None,
+                 checkpoints: bool = True) -> None:
+        self.host = _SessionHost(worker_id, plan_cache,
+                                 incarnation=incarnation, injector=injector,
+                                 checkpoints=checkpoints)
+        self.crashed = False
         self._dispatch = dispatch
         self._jobs: queue.Queue = queue.Queue()
         self._thread = threading.Thread(
@@ -375,6 +506,9 @@ class _ThreadWorker:
     def submit(self, op) -> None:
         self._jobs.put(op)
 
+    def alive(self) -> bool:
+        return self._thread.is_alive() and not self.crashed
+
     def _loop(self) -> None:
         host = self.host
         while True:
@@ -382,12 +516,19 @@ class _ThreadWorker:
             if op is _SHUTDOWN:
                 return
             kind, request_id, payload = op
-            if kind == "cancel":
-                host.cancel_session(request_id)
-                continue
-            outcome = _apply_op(
-                host, kind, request_id,
-                lambda: host.open_session(request_id, *payload))
+            try:
+                if kind == "cancel":
+                    host.cancel_session(request_id)
+                    continue
+                outcome = _apply_op(
+                    host, kind, request_id,
+                    lambda: host.open_session(request_id, *payload))
+            except InjectedCrash:
+                # The thread-tier realization of a worker death: the
+                # loop ends without delivering an outcome, exactly like
+                # a process worker's os._exit — supervision takes over.
+                self.crashed = True
+                return
             self._dispatch(outcome)
 
     def close(self, deadline: Deadline) -> bool:
@@ -405,9 +546,22 @@ class ThreadBackend(PoolBackend):
     name = "threads"
 
     def __init__(self, size: int, plan_cache,
-                 dispatch: Callable[[SliceOutcome], None]) -> None:
-        self._workers = [_ThreadWorker(i, plan_cache, dispatch)
-                         for i in range(size)]
+                 dispatch: Callable[[SliceOutcome], None],
+                 faults: FaultPlan | None = None,
+                 checkpoints: bool = True,
+                 incarnations: list[int] | None = None) -> None:
+        self._plan_cache = plan_cache
+        self._dispatch = dispatch
+        self._faults = faults
+        self._checkpoints = checkpoints
+        self._closing = False
+        incarnations = incarnations or [0] * size
+        self._workers = [
+            _ThreadWorker(i, plan_cache, dispatch,
+                          incarnation=incarnations[i],
+                          injector=make_injector(faults, i, incarnations[i]),
+                          checkpoints=checkpoints)
+            for i in range(size)]
 
     def open(self, worker_id, request_id, session, slice_pops, deadline,
              env_key) -> None:
@@ -428,10 +582,35 @@ class ThreadBackend(PoolBackend):
     def telemetry(self, worker_id) -> WorkerTelemetry:
         return self._workers[worker_id].host.telemetry()
 
+    def dead_workers(self) -> list[tuple[int, str]]:
+        if self._closing:
+            return []
+        return [(i, "worker thread crashed")
+                for i, worker in enumerate(self._workers)
+                if not worker.alive()]
+
+    def restart_worker(self, worker_id: int, incarnation: int) -> None:
+        old = self._workers[worker_id]
+        # A hung (not crashed) thread eventually drains its queue and
+        # exits on the sentinel; its outcomes carry the old incarnation
+        # and are dropped by the facade.
+        old.submit(_SHUTDOWN)
+        self._workers[worker_id] = _ThreadWorker(
+            worker_id, self._plan_cache, self._dispatch,
+            incarnation=incarnation,
+            injector=make_injector(self._faults, worker_id, incarnation),
+            checkpoints=self._checkpoints)
+
     def close(self, timeout_s: float) -> list[int]:
+        self._closing = True
         deadline = Deadline(timeout_s)
         return [i for i, worker in enumerate(self._workers)
-                if not worker.close(deadline)]
+                if not worker.close(deadline) and not worker.crashed]
+
+    def destroy(self) -> None:
+        self._closing = True
+        for worker in self._workers:
+            worker.submit(_SHUTDOWN)
 
 
 class _SlotProbe:
@@ -449,51 +628,67 @@ class _SlotProbe:
 
 
 def _process_worker_main(worker_id: int, jobs, results, plan_client,
-                         cancel_flags) -> None:
+                         cancel_flags, faults: FaultPlan | None,
+                         incarnation: int, checkpoints: bool) -> None:
     """Body of one long-lived worker process.
 
     Environments are memoized per shm segment — attached and decoded
     once, then shared by every hosted session that ships the same
     handle — and the plan cache is the two-tier stack: a local dict in
-    front of the pool-wide shm-digest index.
+    front of the pool-wide shm-digest index.  An :class:`InjectedCrash`
+    ends the process via ``os._exit`` — no cleanup, no unwinding —
+    because that is what a real worker death looks like to the
+    supervisor.
     """
     plan_cache = LocalPlanCache(backing=plan_client)
-    host = _SessionHost(worker_id, plan_cache)
+    host = _SessionHost(worker_id, plan_cache, incarnation=incarnation,
+                        injector=make_injector(faults, worker_id,
+                                               incarnation),
+                        checkpoints=checkpoints)
     attachment = shm.Attachment()
     envs: dict[str, tuple] = {}         # segment -> (env, adopted payload)
 
     def open_session(request_id: int, payload) -> SliceOutcome:
         blob, handle, slice_pops, deadline, env_key, slot = payload
-        entry = envs.get(handle.segment)
-        if entry is None:
-            entry = shm.adopt_env(handle, attachment)
-            envs[handle.segment] = entry
-            while len(envs) > _ENV_MEMO_LIMIT:
-                stale = next((seg for seg, (env, _) in envs.items()
-                              if not host.env_in_use(env)), None)
-                if stale is None:
-                    break
-                del envs[stale]
-                attachment.discard(stale)
-        env, adopted = entry
-        session = SynthesisSession.resume(blob, env=env)
+        if handle is None:
+            # Degraded dispatch: the coordinator could not publish the
+            # env to shm, so the blob carries the pickled tables.
+            session = SynthesisSession.resume(blob)
+            adopted = None
+        else:
+            entry = envs.get(handle.segment)
+            if entry is None:
+                entry = shm.adopt_env(handle, attachment)
+                envs[handle.segment] = entry
+                while len(envs) > _ENV_MEMO_LIMIT:
+                    stale = next((seg for seg, (env, _) in envs.items()
+                                  if not host.env_in_use(env)), None)
+                    if stale is None:
+                        break
+                    del envs[stale]
+                    attachment.discard(stale)
+            env, adopted = entry
+            session = SynthesisSession.resume(blob, env=env)
         if slot >= 0:
             session.set_cancel_probe(_SlotProbe(cancel_flags, slot))
         return host.open_session(request_id, session, slice_pops, deadline,
                                  env_key, adopted=adopted)
 
-    while True:
-        op = jobs.get()
-        kind, request_id, payload = op
-        if kind == "close":
-            break
-        if kind == "cancel":
-            # Slice-boundary fallback; the shared flag already covers
-            # mid-slice (the session polls it every pop).
-            host.cancel_session(request_id)
-            continue
-        results.put(_apply_op(host, kind, request_id,
-                              lambda: open_session(request_id, payload)))
+    try:
+        while True:
+            op = jobs.get()
+            kind, request_id, payload = op
+            if kind == "close":
+                break
+            if kind == "cancel":
+                # Slice-boundary fallback; the shared flag already covers
+                # mid-slice (the session polls it every pop).
+                host.cancel_session(request_id)
+                continue
+            results.put(_apply_op(host, kind, request_id,
+                                  lambda: open_session(request_id, payload)))
+    except InjectedCrash:
+        os._exit(FAULT_EXITCODE)
     plan_cache.close()
     # Release every zero-copy view (warm engines, env memo) before
     # detaching, so segment mappings close cleanly instead of deferring
@@ -513,13 +708,26 @@ class ProcessBackend(PoolBackend):
     worker's outcomes back into the dispatch callback.  Workers are
     non-daemon so a hosted session may fan out to its own shard
     processes (daemons cannot have children).
+
+    Restart support: each worker carries an incarnation; replacing one
+    terminates the process if needed, sweeps its plan-cache shard, swaps
+    in a fresh job queue, and spawns the next incarnation.  An env
+    publish that raises ``OSError`` (or is injected to) degrades that
+    request to pickled-env dispatch instead of failing it.
     """
 
     name = "processes"
 
     def __init__(self, size: int, dispatch: Callable[[SliceOutcome], None],
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 faults: FaultPlan | None = None,
+                 checkpoints: bool = True,
+                 recovery: RecoveryTelemetry | None = None) -> None:
         self._dispatch = dispatch
+        self._faults = faults
+        self._checkpoints = checkpoints
+        self._recovery = recovery if recovery is not None \
+            else RecoveryTelemetry()
         self._ctx = pick_context(start_method=start_method)
         # Env segments and worker plan publishes both nest under the
         # store's prefix: one end-of-life sweep reclaims everything
@@ -531,15 +739,12 @@ class ProcessBackend(PoolBackend):
         self._cancel_flags = self._ctx.Array("b", _CANCEL_SLOTS, lock=False)
         self._results = self._ctx.SimpleQueue()
         self._jobs = [self._ctx.SimpleQueue() for _ in range(size)]
-        self._procs = []
+        self._incarnations = [0] * size
+        self._spawn_injectors: dict[int, FaultInjector] = {}
+        self._pub_injectors: dict[int, FaultInjector] = {}
+        self._procs: list = [None] * size
         for i in range(size):
-            proc = self._ctx.Process(
-                target=_process_worker_main,
-                args=(i, self._jobs[i], self._results,
-                      self._plan_tier.client(i), self._cancel_flags),
-                name=f"repro-serve-proc-{i}", daemon=False)
-            proc.start()
-            self._procs.append(proc)
+            self._spawn(i, 0)
         self._lock = threading.Lock()
         self._env_handles: dict = {}            # env -> EnvHandle
         self._slots: dict[int, int] = {}        # request_id -> flag slot
@@ -550,6 +755,16 @@ class ProcessBackend(PoolBackend):
                                         daemon=True)
         self._reader.start()
 
+    def _spawn(self, worker_id: int, incarnation: int) -> None:
+        proc = self._ctx.Process(
+            target=_process_worker_main,
+            args=(worker_id, self._jobs[worker_id], self._results,
+                  self._plan_tier.client(worker_id), self._cancel_flags,
+                  self._faults, incarnation, self._checkpoints),
+            name=f"repro-serve-proc-{worker_id}", daemon=False)
+        proc.start()
+        self._procs[worker_id] = proc
+
     def plan_client(self):
         """A coordinator-side client of the pool's shm-digest index (the
         backing tier for the facade's ``plan_cache``)."""
@@ -557,36 +772,119 @@ class ProcessBackend(PoolBackend):
 
     def open(self, worker_id, request_id, session, slice_pops, deadline,
              env_key) -> None:
-        blob = session.checkpoint(strip_env=True)
         with self._lock:
             handle = self._env_handles.get(session.env)
             if handle is None:
-                handle = self._store.publish_env(session.env)
-                self._env_handles[session.env] = handle
+                try:
+                    if self._publish_fails(worker_id):
+                        raise OSError("injected shm publish failure")
+                    handle = self._store.publish_env(session.env)
+                    self._env_handles[session.env] = handle
+                except OSError as exc:
+                    # /dev/shm full, injected, or otherwise — ship the
+                    # tables pickled inside the blob instead of failing
+                    # the request; slower dispatch, same results.
+                    _LOG.warning(
+                        "shm env publish failed for request %d (%s); "
+                        "degrading to pickled-env dispatch", request_id, exc)
+                    self._recovery.shm_degradations += 1
+                    handle = None
             slot = self._free_slots.pop() if self._free_slots else -1
             if slot >= 0:
                 self._cancel_flags[slot] = 0
                 self._slots[request_id] = slot
-        self._jobs[worker_id].put(
-            ("open", request_id,
-             (blob, handle, slice_pops, deadline, env_key, slot)))
+            blob = session.checkpoint(strip_env=handle is not None)
+            self._jobs[worker_id].put(
+                ("open", request_id,
+                 (blob, handle, slice_pops, deadline, env_key, slot)))
 
     def step(self, worker_id, request_id) -> None:
-        self._jobs[worker_id].put(("step", request_id, None))
+        with self._lock:
+            self._jobs[worker_id].put(("step", request_id, None))
 
     def run(self, worker_id, request_id) -> None:
-        self._jobs[worker_id].put(("run", request_id, None))
+        with self._lock:
+            self._jobs[worker_id].put(("run", request_id, None))
 
     def cancel(self, worker_id, request_id) -> None:
         with self._lock:
             slot = self._slots.get(request_id)
-        if slot is not None:
-            self._cancel_flags[slot] = 1    # visible mid-slice, next pop
-        self._jobs[worker_id].put(("cancel", request_id, None))
+            if slot is not None:
+                self._cancel_flags[slot] = 1  # visible mid-slice, next pop
+            self._jobs[worker_id].put(("cancel", request_id, None))
 
     def telemetry(self, worker_id) -> WorkerTelemetry:
         with self._lock:
             return self._telemetry[worker_id]
+
+    def dead_workers(self) -> list[tuple[int, str]]:
+        dead = []
+        for i, proc in enumerate(self._procs):
+            code = proc.exitcode
+            if code is None:
+                continue
+            reason = "injected crash" if code == FAULT_EXITCODE else \
+                f"exitcode {code}"
+            dead.append((i, f"worker process {i} died ({reason})"))
+        return dead
+
+    def restart_worker(self, worker_id: int, incarnation: int) -> None:
+        proc = self._procs[worker_id]
+        if proc.is_alive():
+            # Hung, not dead: terminate (possibly mid-slice — the
+            # request replays from its checkpoint, so nothing is lost
+            # but time).
+            proc.terminate()
+            proc.join(timeout=2.0)
+            if proc.is_alive():     # pragma: no cover - defensive
+                proc.kill()
+                proc.join(timeout=2.0)
+        # The dead incarnation's disowned plan publishes and stale index
+        # entries: swept now, so the next incarnation (same shard
+        # prefix) starts clean and nothing leaks if the pool dies later.
+        self._plan_tier.drop_shard(worker_id)
+        self._spawn_check(worker_id, incarnation)
+        with self._lock:
+            self._jobs[worker_id] = self._ctx.SimpleQueue()
+            self._incarnations[worker_id] = incarnation
+            self._spawn_injectors.pop(worker_id, None)
+            self._pub_injectors.pop(worker_id, None)
+        self._spawn(worker_id, incarnation)
+
+    def _publish_fails(self, worker_id: int) -> bool:
+        """Coordinator-side publish-failure injection (caller holds the
+        lock); the injector is cached per incarnation so its draw stream
+        advances across requests instead of resetting."""
+        if self._faults is None:
+            return False
+        injector = self._pub_injectors.get(worker_id)
+        if injector is None or \
+                injector.incarnation != self._incarnations[worker_id]:
+            injector = FaultInjector(self._faults, worker_id,
+                                     self._incarnations[worker_id])
+            self._pub_injectors[worker_id] = injector
+        return injector.publish_fails()
+
+    def _spawn_check(self, worker_id: int, incarnation: int) -> None:
+        """Fault-injection site for restart failures.  The spawn stream
+        is salted with the *dead* incarnation: replacing an armed
+        incarnation is what may fail, so ``max_incarnation=1`` plans can
+        express 'the first restart fails' without crash-looping."""
+        if self._faults is None:
+            return
+        injector = self._spawn_injectors.get(worker_id)
+        if injector is None or injector.incarnation != incarnation - 1:
+            injector = FaultInjector(self._faults, worker_id,
+                                     incarnation - 1)
+            self._spawn_injectors[worker_id] = injector
+        injector.check_spawn()
+
+    def forget(self, request_id: int) -> None:
+        with self._lock:
+            slot = self._slots.pop(request_id, None)
+            if slot is not None:
+                self._cancel_flags[slot] = 0
+                self._free_slots.append(slot)
 
     def _read_outcomes(self) -> None:
         while True:
@@ -607,8 +905,9 @@ class ProcessBackend(PoolBackend):
             self._dispatch(outcome)
 
     def close(self, timeout_s: float) -> list[int]:
-        for jobs in self._jobs:
-            jobs.put(("close", -1, None))
+        with self._lock:
+            for jobs in self._jobs:
+                jobs.put(("close", -1, None))
         deadline = Deadline(timeout_s)
         stuck = []
         for i, proc in enumerate(self._procs):
@@ -627,6 +926,33 @@ class ProcessBackend(PoolBackend):
         shm.sweep_prefix(self.prefix)       # workers' disowned publishes
         return stuck
 
+    def destroy(self) -> None:
+        """Terminate everything now — the degrade-to-threads path."""
+        for proc in self._procs:
+            if proc is not None and proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc is None:
+                continue
+            proc.join(timeout=1.0)
+            if proc.is_alive():             # pragma: no cover - defensive
+                proc.kill()
+                proc.join(timeout=1.0)
+        try:
+            self._results.put(None)
+            self._reader.join(timeout=1.0)
+        except Exception:                   # pragma: no cover - teardown
+            pass
+        try:
+            self._plan_tier.close()
+        except Exception:                   # pragma: no cover - teardown
+            pass
+        try:
+            self._store.close()
+        except Exception:                   # pragma: no cover - teardown
+            pass
+        shm.sweep_prefix(self.prefix)
+
 
 # ------------------------------------------------------------------- facade
 
@@ -639,41 +965,82 @@ class WorkerPool:
     ``size > 1`` — the tier that actually uses the cores).
 
     The facade owns request-id allocation, per-request outcome routing,
-    and per-worker queue-depth accounting (incremented per submitted op,
-    decremented per outcome) — the load signal least-loaded routing uses.
+    per-worker queue-depth accounting (incremented per submitted op,
+    decremented per outcome) — the load signal least-loaded routing
+    uses — and, since PR 9, supervision: a watchdog thread detects dead
+    workers and hung slices, restarts them with exponential backoff
+    (degrading the whole pool to the thread backend when restarts keep
+    failing), and fails the dead worker's requests over to their
+    ``on_slice`` callbacks as ``status="worker_died"`` outcomes carrying
+    the error — the service above replays them from checkpoints.
+
+    ``faults`` (or ``REPRO_FAULTS``) arms deterministic fault injection;
+    ``slice_timeout_s`` enables hang detection (off by default — only
+    the caller knows how long a legitimate slice may run).
     """
 
     def __init__(self, size: int = 2, backend: str | None = None,
                  plan_cache: LocalPlanCache | None = None,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 faults: FaultPlan | None = None,
+                 slice_timeout_s: float | None = None,
+                 supervise_interval_s: float | None = SUPERVISE_INTERVAL_S,
+                 restart_backoff_s: float = RESTART_BACKOFF_S,
+                 max_spawn_attempts: int = MAX_SPAWN_ATTEMPTS,
+                 checkpoints: bool = True) -> None:
         if size < 1:
             raise ValueError("pool size must be >= 1")
         self.backend_name = resolve_pool_backend(backend, size)
+        self.faults = faults if faults is not None else plan_from_env()
         self._size = size
+        self._slice_timeout_s = slice_timeout_s
+        self._restart_backoff_s = restart_backoff_s
+        self._max_spawn_attempts = max(1, max_spawn_attempts)
+        self._checkpoints = checkpoints
         self._lock = threading.Lock()
         self._handlers: dict[int, tuple[Callable, int]] = {}
         self._depths = [0] * size
         self._next_request = 0
         self._closed = False
+        self._degraded = False
+        self._down: set[int] = set()
+        self._pending: dict[int, list] = {i: [] for i in range(size)}
+        self._incarnations = [0] * size
+        self._last_progress = [time.monotonic()] * size
+        self._restart_listeners: list[Callable[[int | None], None]] = []
+        self.recovery = RecoveryTelemetry()
         if self.backend_name == "threads":
             self.plan_cache = plan_cache if plan_cache is not None \
                 else LocalPlanCache()
             self._backend: PoolBackend = ThreadBackend(
-                size, self.plan_cache, self._on_outcome)
+                size, self.plan_cache, self._on_outcome, faults=self.faults,
+                checkpoints=checkpoints)
         else:
-            process_backend = ProcessBackend(size, self._on_outcome,
-                                             start_method)
+            process_backend = ProcessBackend(
+                size, self._on_outcome, start_method, faults=self.faults,
+                checkpoints=checkpoints, recovery=self.recovery)
             self._backend = process_backend
             # The coordinator-side cache rides on the same shm index the
             # workers publish to — thread-tier callers of pool.plan_cache
             # and the process workers hit one shared tier.
             self.plan_cache = plan_cache if plan_cache is not None \
                 else LocalPlanCache(backing=process_backend.plan_client())
+        self._stop_supervisor = threading.Event()
+        self._supervisor: threading.Thread | None = None
+        if supervise_interval_s is not None and supervise_interval_s > 0:
+            self._supervisor = threading.Thread(
+                target=self._supervise, args=(supervise_interval_s,),
+                name="repro-serve-supervisor", daemon=True)
+            self._supervisor.start()
         atexit.register(self._atexit_close)
 
     @property
     def size(self) -> int:
         return self._size
+
+    @property
+    def degraded(self) -> bool:
+        return self._degraded
 
     # ------------------------------------------------------------- requests
     def submit_request(self, session: SynthesisSession, *, worker_id: int,
@@ -682,7 +1049,8 @@ class WorkerPool:
         """Open a session on a worker; every slice lands on ``on_slice``
         (from a pool-owned thread) until a terminal outcome.  Returns the
         pool-wide request id used by :meth:`step`/:meth:`run`/
-        :meth:`cancel`."""
+        :meth:`cancel`.  A submission to a worker mid-restart is
+        buffered and dispatched when its replacement is up."""
         if not 0 <= worker_id < self._size:
             raise ValueError(f"worker {worker_id} out of range "
                              f"[0, {self._size})")
@@ -693,6 +1061,13 @@ class WorkerPool:
             self._next_request += 1
             self._handlers[request_id] = (on_slice, worker_id)
             self._depths[worker_id] += 1
+            self._last_progress[worker_id] = time.monotonic()
+            if worker_id in self._down:
+                self._pending[worker_id].append(
+                    lambda: self._backend.open(worker_id, request_id,
+                                               session, slice_pops, deadline,
+                                               env_key))
+                return request_id
         self._backend.open(worker_id, request_id, session, slice_pops,
                            deadline, env_key)
         return request_id
@@ -700,20 +1075,28 @@ class WorkerPool:
     def step(self, request_id: int) -> None:
         """Queue the next slice (behind the worker's other requests —
         cooperative round-robin)."""
-        self._resubmit(request_id, self._backend.step)
+        self._resubmit(request_id, lambda w, r: self._backend.step(w, r))
 
     def run(self, request_id: int) -> None:
         """Queue a run-to-completion op (the intra-request fan-out path
         when the session's config asks for workers > 1)."""
-        self._resubmit(request_id, self._backend.run)
+        self._resubmit(request_id, lambda w, r: self._backend.run(w, r))
 
     def _resubmit(self, request_id: int, op) -> None:
         with self._lock:
             entry = self._handlers.get(request_id)
             if entry is None:
-                raise KeyError(f"unknown or finished request {request_id}")
+                # Finished — or failed over by supervision between the
+                # caller seeing its last outcome and asking for the next
+                # slice.  Either way there is nothing to advance.
+                return
             worker_id = entry[1]
             self._depths[worker_id] += 1
+            self._last_progress[worker_id] = time.monotonic()
+            if worker_id in self._down:
+                self._pending[worker_id].append(
+                    lambda: op(worker_id, request_id))
+                return
         op(worker_id, request_id)
 
     def cancel(self, request_id: int) -> None:
@@ -721,18 +1104,187 @@ class WorkerPool:
         tier hosts it (no-op once the request finished)."""
         with self._lock:
             entry = self._handlers.get(request_id)
-        if entry is not None:
+            down = entry is not None and entry[1] in self._down
+        if entry is not None and not down:
             self._backend.cancel(entry[1], request_id)
 
     def _on_outcome(self, outcome: SliceOutcome) -> None:
         with self._lock:
+            if outcome.incarnation != self._incarnations[outcome.worker_id]:
+                # A replaced worker's ghost (a hung thread that woke up,
+                # a queued result from before a restart): its request
+                # was already failed over — drop it.
+                return
             entry = self._handlers.get(outcome.request_id)
             depth = self._depths[outcome.worker_id] - 1
             self._depths[outcome.worker_id] = max(0, depth)
+            self._last_progress[outcome.worker_id] = time.monotonic()
             if outcome.done:
                 self._handlers.pop(outcome.request_id, None)
         if entry is not None:
             entry[0](outcome)
+
+    # ---------------------------------------------------------- supervision
+    def add_restart_listener(self, fn: Callable[[int | None], None]) -> None:
+        """Call ``fn(worker_id)`` after a worker restarts (its warm and
+        affinity state is cold), ``fn(None)`` after a backend degrade
+        (every worker is cold).  Runs on the supervisor thread."""
+        self._restart_listeners.append(fn)
+
+    def remove_restart_listener(self, fn) -> None:
+        try:
+            self._restart_listeners.remove(fn)
+        except ValueError:
+            pass
+
+    def down_workers(self) -> set[int]:
+        with self._lock:
+            return set(self._down)
+
+    def _supervise(self, interval_s: float) -> None:
+        while not self._stop_supervisor.wait(interval_s):
+            try:
+                self._sweep_failures()
+            except Exception:       # pragma: no cover - supervisor guard
+                _LOG.exception("pool supervisor sweep failed")
+
+    def _sweep_failures(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+        for worker_id, reason in self._backend.dead_workers():
+            self._handle_worker_failure(worker_id, reason, hang=False)
+        for worker_id in self._hung_workers():
+            self._handle_worker_failure(
+                worker_id,
+                f"worker {worker_id} hung: no progress within "
+                f"{self._slice_timeout_s}s", hang=True)
+
+    def _hung_workers(self) -> list[int]:
+        if self._slice_timeout_s is None:
+            return []
+        now = time.monotonic()
+        with self._lock:
+            return [i for i in range(self._size)
+                    if i not in self._down and self._depths[i] > 0
+                    and now - self._last_progress[i] > self._slice_timeout_s]
+
+    def _handle_worker_failure(self, worker_id: int, reason: str,
+                               hang: bool) -> None:
+        with self._lock:
+            if self._closed or worker_id in self._down:
+                return
+            self._down.add(worker_id)
+            self._incarnations[worker_id] += 1
+            incarnation = self._incarnations[worker_id]
+            affected = [(rid, entry[0])
+                        for rid, entry in self._handlers.items()
+                        if entry[1] == worker_id]
+            for rid, _ in affected:
+                self._handlers.pop(rid, None)
+            self._depths[worker_id] = 0
+            if hang:
+                self.recovery.hangs += 1
+            else:
+                self.recovery.worker_deaths += 1
+        _LOG.warning("pool worker %d failed (%s): restarting (%d request%s "
+                     "affected)", worker_id, reason, len(affected),
+                     "" if len(affected) == 1 else "s")
+        for rid, _ in affected:
+            self._backend.forget(rid)
+        if self._restart_with_backoff(worker_id, incarnation):
+            with self._lock:
+                self._down.discard(worker_id)
+                self._last_progress[worker_id] = time.monotonic()
+                pending = self._pending[worker_id]
+                self._pending[worker_id] = []
+            self._notify_restart(worker_id)
+            for dispatch in pending:
+                dispatch()
+        # (On the degrade path _degrade_to_threads already failed over
+        # every other live request and flushed nothing — the service
+        # re-dispatches them all onto the thread tier.)
+        for rid, on_slice in affected:
+            outcome = SliceOutcome(
+                request_id=rid, worker_id=worker_id, done=True,
+                status=WORKER_DIED, error=reason, incarnation=incarnation)
+            try:
+                on_slice(outcome)
+            except Exception:       # pragma: no cover - callback guard
+                _LOG.exception("on_slice callback failed during failover")
+
+    def _restart_with_backoff(self, worker_id: int,
+                              incarnation: int) -> bool:
+        for attempt in range(self._max_spawn_attempts):
+            try:
+                self._backend.restart_worker(worker_id, incarnation)
+            except Exception as exc:
+                with self._lock:
+                    self.recovery.spawn_failures += 1
+                _LOG.warning("restart of pool worker %d failed "
+                             "(attempt %d/%d): %s", worker_id, attempt + 1,
+                             self._max_spawn_attempts, exc)
+                if attempt + 1 < self._max_spawn_attempts:
+                    time.sleep(min(2.0,
+                                   self._restart_backoff_s * 2 ** attempt))
+                continue
+            with self._lock:
+                self.recovery.restarts += 1
+            return True
+        self._degrade_to_threads()
+        return False
+
+    def _degrade_to_threads(self) -> None:
+        """Last resort when a worker cannot be respawned: fail every
+        live request over and swap the whole pool onto the thread
+        backend — degraded service beats no service."""
+        _LOG.warning(
+            "pool degrading to the thread backend after %d failed spawn "
+            "attempts; live requests will be replayed on threads",
+            self._max_spawn_attempts)
+        with self._lock:
+            survivors = [(rid, entry[0], entry[1])
+                         for rid, entry in self._handlers.items()]
+            self._handlers.clear()
+            for i in range(self._size):
+                self._depths[i] = 0
+                self._incarnations[i] += 1
+                self._down.discard(i)
+                self._pending[i] = []   # openers were failed over too
+            incarnations = list(self._incarnations)
+            self.recovery.backend_degradations += 1
+            old_backend = self._backend
+            # Chaos plans target the tier they were configured for; the
+            # degraded tier must be stable, so it runs fault-free.
+            self.plan_cache = LocalPlanCache()
+            self._backend = ThreadBackend(
+                self._size, self.plan_cache, self._on_outcome, faults=None,
+                checkpoints=self._checkpoints, incarnations=incarnations)
+            self.backend_name = "threads"
+            self._degraded = True
+        try:
+            old_backend.destroy()
+        except Exception:           # pragma: no cover - teardown guard
+            _LOG.exception("process backend teardown failed during degrade")
+        self._notify_restart(None)
+        for rid, on_slice, worker_id in survivors:
+            outcome = SliceOutcome(
+                request_id=rid, worker_id=worker_id, done=True,
+                status=WORKER_DIED,
+                error="pool degraded to the thread backend after repeated "
+                      "spawn failures",
+                incarnation=incarnations[worker_id])
+            try:
+                on_slice(outcome)
+            except Exception:       # pragma: no cover - callback guard
+                _LOG.exception("on_slice callback failed during degrade")
+
+    def _notify_restart(self, worker_id: int | None) -> None:
+        for fn in list(self._restart_listeners):
+            try:
+                fn(worker_id)
+            except Exception:       # pragma: no cover - listener guard
+                _LOG.exception("pool restart listener failed")
 
     # ------------------------------------------------------------ telemetry
     def queue_depth(self, worker_id: int) -> int:
@@ -755,7 +1307,7 @@ class WorkerPool:
         tests, and the perf snapshot's ``pool`` section)."""
         workers = [self._backend.telemetry(i) for i in range(self._size)]
         depths = self.queue_depths()
-        return {
+        counters = {
             "backend": self.backend_name,
             "warm_hits": sum(w.warm_hits for w in workers),
             "warm_misses": sum(w.warm_misses for w in workers),
@@ -769,6 +1321,29 @@ class WorkerPool:
                  "slices": w.slices}
                 for i, w in enumerate(workers)],
         }
+        counters.update(self.recovery.as_dict())
+        return counters
+
+    def health(self) -> dict:
+        """Liveness snapshot: per-worker state plus recovery counters —
+        what an operator (or the CLI ``serve`` command) looks at first."""
+        now = time.monotonic()
+        with self._lock:
+            workers = [
+                {"worker_id": i,
+                 "alive": i not in self._down,
+                 "queue_depth": self._depths[i],
+                 "incarnation": self._incarnations[i],
+                 "last_progress_age_s": round(
+                     now - self._last_progress[i], 3)}
+                for i in range(self._size)]
+            return {
+                "backend": self.backend_name,
+                "degraded": self._degraded,
+                "closed": self._closed,
+                "workers": workers,
+                "recovery": self.recovery.as_dict(),
+            }
 
     # ------------------------------------------------------------ lifecycle
     def close(self, timeout_s: float = POOL_CLOSE_TIMEOUT_S) -> None:
@@ -785,6 +1360,11 @@ class WorkerPool:
             if self._closed:
                 return
             self._closed = True
+        self._stop_supervisor.set()
+        if self._supervisor is not None:
+            # Joined before backend teardown so a restart in flight
+            # cannot spawn a worker into a closing pool.
+            self._supervisor.join(timeout=timeout_s)
         atexit.unregister(self._atexit_close)
         stuck = self._backend.close(timeout_s)
         if stuck:

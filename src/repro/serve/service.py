@@ -26,25 +26,45 @@ asks again.  :class:`SynthesisService` makes that loop first-class:
   them (:meth:`RequestHandle.stream`), with the full ranked result at
   :meth:`RequestHandle.result`;
 * admission control bounds the number of live requests
-  (:class:`ServiceOverloaded` instead of an unbounded backlog);
+  (:class:`ServiceOverloaded`, carrying a ``retry_after_s`` hint derived
+  from the backlog, instead of an unbounded queue);
 * each request carries its own wall-clock budget (checked worker-side
   before every slice, so it covers queueing on either tier), and
   :meth:`RequestHandle.cancel` stops the session at its next pop — on
   the process tier via a shared-memory flag the session polls, plus the
   executor's shared cancel token if it fanned out.
 
+Fault tolerance (PR 9): the service retains each request's latest
+slice-boundary checkpoint blob.  When the pool's supervisor reports a
+worker death (``status="worker_died"``) the request enters ``RETRYING``:
+the checkpoint is resumed into a fresh session and re-dispatched onto a
+healthy worker, under ``max_retries`` replays per request; only when the
+budget is exhausted does the request become ``FAILED``, carrying every
+accumulated worker error.  The recovery state machine::
+
+    QUEUED ──▶ RUNNING ──▶ DONE | CANCELLED | TIMED_OUT
+                 │  ▲
+       worker    ▼  │ re-dispatched from checkpoint
+       died    RETRYING ──▶ FAILED   (retry budget exhausted,
+                                      or no checkpoint to replay)
+
+Terminal states are sticky: a late outcome from a dying worker can never
+flip a request out of DONE/CANCELLED/TIMED_OUT/FAILED.
+
 Determinism: slicing is pure preemption and the shm codecs are exact —
 a request's ranked queries and ``SearchStats`` are byte-identical to an
 uninterrupted serial run of the same session, whichever worker and
 whichever tier (threads or processes, fork or spawn) it lands on, and
-however its slices interleave with other requests.  What the pool's warm
-state changes is *latency only*; the per-request ``engine_stats`` deltas
-stay exact.
+however its slices interleave with other requests.  That same pledge is
+what makes recovery *transparent*: a replayed checkpoint re-executes the
+lost pops and lands on the identical result — crashes cost latency,
+never correctness.  What the pool's warm state changes is latency only;
+the per-request ``engine_stats`` deltas stay exact.
 
-Thread topology: the event loop owns admission, futures and streams;
-pool-owned threads (worker threads on the thread tier, the outcome
-reader on the process tier) deliver slice outcomes and talk back only
-through ``loop.call_soon_threadsafe``.
+Thread topology: the event loop owns admission, futures, streams and
+recovery; pool-owned threads (worker threads on the thread tier, the
+outcome reader on the process tier, the supervisor) deliver slice
+outcomes and talk back only through ``loop.call_soon_threadsafe``.
 """
 
 from __future__ import annotations
@@ -56,7 +76,14 @@ from dataclasses import dataclass
 from repro.lang import ast
 from repro.parallel.plan_cache import env_digest
 from repro.provenance.demo import Demonstration
-from repro.serve.pool import SliceOutcome, WorkerPool, warm_key
+from repro.serve.faults import FaultPlan
+from repro.serve.pool import (
+    SUPERVISE_INTERVAL_S,
+    WORKER_DIED,
+    SliceOutcome,
+    WorkerPool,
+    warm_key,
+)
 from repro.synthesis.config import SynthesisConfig
 from repro.synthesis.enumerator import SynthesisResult
 from repro.synthesis.session import SynthesisSession
@@ -70,10 +97,14 @@ _EOS = object()
 # Request lifecycle states (RequestHandle.status).
 QUEUED = "queued"
 RUNNING = "running"
+RETRYING = "retrying"           # worker died; replaying from checkpoint
 DONE = "done"
 CANCELLED = "cancelled"
 TIMED_OUT = "timed_out"
 FAILED = "failed"
+
+#: Once here, a request never leaves (the _fail/_finalize guard).
+TERMINAL_STATES = frozenset({DONE, CANCELLED, TIMED_OUT, FAILED})
 
 ROUTING_MODES = ("affinity", "round_robin")
 
@@ -84,7 +115,16 @@ _ROUTE_MEMO_LIMIT = 4096
 
 
 class ServiceOverloaded(RuntimeError):
-    """Admission rejected: the service is at its live-request bound."""
+    """Admission rejected: the service is at its live-request bound.
+
+    ``retry_after_s`` is the service's backoff hint, scaled with the
+    current backlog (live requests + queued slices) — clients honor it
+    with jitter rather than hammering a saturated service.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.1) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
 
 
 @dataclass(frozen=True)
@@ -97,6 +137,10 @@ class ServiceConfig:
     default_timeout_s: float | None = None   # per-request budget fallback
     pool_backend: str | None = None  # threads|processes|None ("auto")
     routing: str = "affinity"   # schema-affine placement | "round_robin"
+    max_retries: int = 2        # checkpoint replays per request
+    slice_timeout_s: float | None = None  # hang detection (off by default)
+    supervise_interval_s: float | None = SUPERVISE_INTERVAL_S
+    faults: FaultPlan | None = None       # deterministic chaos (tests)
 
     def __post_init__(self) -> None:
         if self.pool_size < 1:
@@ -108,6 +152,10 @@ class ServiceConfig:
         if self.routing not in ROUTING_MODES:
             raise ValueError(f"routing must be one of {ROUTING_MODES}, "
                              f"got {self.routing!r}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.slice_timeout_s is not None and self.slice_timeout_s <= 0:
+            raise ValueError("slice_timeout_s must be positive or None")
 
 
 class _Request:
@@ -121,6 +169,15 @@ class _Request:
         self.future: asyncio.Future = loop.create_future()
         self.stream_queue: asyncio.Queue = asyncio.Queue()
         self.state = QUEUED
+        # ----------------------------------------------- recovery state
+        self.deadline: Deadline | None = None   # absolute; survives replay
+        self.env_key: str = ""
+        self.checkpoint: bytes | None = None    # latest slice-boundary blob
+        self.checkpoint_visited = 0             # pops folded into it
+        self.last_visited = 0                   # pops last reported live
+        self.retries = 0
+        self.errors: list[str] = []             # one per worker death
+        self.cancel_requested = False
 
 
 class RequestHandle:
@@ -139,13 +196,18 @@ class RequestHandle:
         return self._request.worker_id
 
     @property
+    def retries(self) -> int:
+        """Checkpoint replays this request needed (0 on a clean run)."""
+        return self._request.retries
+
+    @property
     def session(self) -> SynthesisSession:
         """The submitted session object.
 
         On the thread tier this is the live search (pollable mid-flight);
         on the process tier it is the loop-side shell whose ``stats`` the
         service refreshes from each slice outcome — same fields, one
-        slice of staleness.
+        slice of staleness.  After a recovery it is the replayed session.
         """
         return self._request.session
 
@@ -168,7 +230,8 @@ class RequestHandle:
 
     def cancel(self) -> None:
         """Stop the session at its next pop; the (partial, ranked) result
-        still resolves."""
+        still resolves.  Sticky across recovery: a request cancelled
+        while its worker was being replaced still ends ``cancelled``."""
         self._service._cancel(self._request)
 
 
@@ -187,7 +250,11 @@ class SynthesisService:
         self.config = config or ServiceConfig()
         self.pool = pool if pool is not None \
             else WorkerPool(self.config.pool_size,
-                            backend=self.config.pool_backend)
+                            backend=self.config.pool_backend,
+                            faults=self.config.faults,
+                            slice_timeout_s=self.config.slice_timeout_s,
+                            supervise_interval_s=self.config
+                            .supervise_interval_s)
         self._own_pool = pool is None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._live: set[_Request] = set()
@@ -195,6 +262,10 @@ class SynthesisService:
         self._affinity: dict[tuple, int] = {}   # (warm key, env key) -> wid
         self._env_keys: dict = {}               # env -> digest memo
         self._closed = False
+        self._retries_total = 0
+        self._recovered = 0         # requests that finished after replays
+        self._replayed_pops = 0     # pops re-executed across recoveries
+        self.pool.add_restart_listener(self._on_worker_restart)
 
     # --------------------------------------------------------- lifecycle
     async def __aenter__(self) -> "SynthesisService":
@@ -207,6 +278,7 @@ class SynthesisService:
     async def close(self) -> None:
         """Stop admitting, cancel live requests, drain the pool."""
         self._closed = True
+        self.pool.remove_restart_listener(self._on_worker_restart)
         for request in list(self._live):
             self._cancel(request)
         if self._live:
@@ -239,18 +311,20 @@ class SynthesisService:
         to slicing serially); under load it degrades to ordinary slices.
 
         Raises :class:`ServiceOverloaded` when ``max_requests`` requests
-        are already live — callers retry with backoff, the paper's
-        interactive loop degrading gracefully instead of queueing without
-        bound.
+        are already live — its ``retry_after_s`` tells the caller how
+        long to back off (with jitter), the paper's interactive loop
+        degrading gracefully instead of queueing without bound.
         """
         if self._closed:
             raise RuntimeError("service is closed")
         if self._loop is None:
             self._loop = asyncio.get_running_loop()
         if len(self._live) >= self.config.max_requests:
+            backlog = sum(self.pool.queue_depths()) + len(self._live)
             raise ServiceOverloaded(
                 f"{len(self._live)} live requests (bound "
-                f"{self.config.max_requests}); retry later")
+                f"{self.config.max_requests}); retry later",
+                retry_after_s=round(min(5.0, 0.05 + 0.02 * backlog), 3))
         cfg = config or SynthesisConfig()
         session = SynthesisSession(tables, demo, cfg, abstraction=technique,
                                    stop=as_stop_spec(stop))
@@ -263,10 +337,18 @@ class SynthesisService:
         budget = timeout_s if timeout_s is not None \
             else self.config.default_timeout_s
         request = _Request(session, worker, self._loop)
+        request.deadline = Deadline(budget)
+        request.env_key = env_key
+        try:
+            # The replay point should the worker die before shipping its
+            # first slice checkpoint (crash-before-first-slice window).
+            request.checkpoint = session.checkpoint(strip_env=True)
+        except Exception:
+            request.checkpoint = None   # unpicklable: no recovery for it
         self._live.add(request)
         request.request_id = self.pool.submit_request(
             session, worker_id=worker, slice_pops=self.config.slice_pops,
-            deadline=Deadline(budget), env_key=env_key,
+            deadline=request.deadline, env_key=env_key,
             on_slice=lambda outcome: self._on_slice(request, outcome))
         return RequestHandle(request, self)
 
@@ -283,37 +365,85 @@ class SynthesisService:
     def _route(self, key: tuple, env_key: str) -> int:
         """Pick a worker: sticky by request shape, least-loaded on first
         sight (ties to the lowest id, so light load behaves like the old
-        round-robin no worse)."""
+        round-robin no worse).  Workers currently down — mid-restart —
+        are avoided for new placements."""
         if self.config.routing == "round_robin":
             worker = self._next_worker % self.pool.size
             self._next_worker += 1
             return worker
         route = (key, env_key)
+        down = self.pool.down_workers()
         worker = self._affinity.get(route)
-        if worker is None:
-            depths = self.pool.queue_depths()
-            worker = min(range(len(depths)), key=lambda i: (depths[i], i))
+        if worker is None or worker in down:
+            worker = self._healthy_worker(down)
             if len(self._affinity) >= _ROUTE_MEMO_LIMIT:
                 self._affinity.clear()
             self._affinity[route] = worker
         return worker
 
+    def _healthy_worker(self, down: set[int] | None = None) -> int:
+        """The least-loaded worker that is not mid-restart (every worker
+        down is a transient — fall back to least-loaded regardless; the
+        pool buffers submissions to a restarting worker)."""
+        if down is None:
+            down = self.pool.down_workers()
+        depths = self.pool.queue_depths()
+        candidates = [i for i in range(self.pool.size) if i not in down] \
+            or list(range(self.pool.size))
+        return min(candidates, key=lambda i: (depths[i], i))
+
+    def _on_worker_restart(self, worker_id: int | None) -> None:
+        """Pool restart listener (supervisor thread): a restarted worker
+        is cold, so its affinity pins are void — new placements go
+        least-loaded and re-pin.  ``None`` means a backend degrade
+        replaced every worker."""
+        def purge() -> None:
+            if worker_id is None:
+                self._affinity.clear()
+                return
+            for route in [r for r, w in self._affinity.items()
+                          if w == worker_id]:
+                del self._affinity[route]
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            purge()
+            return
+        try:
+            loop.call_soon_threadsafe(purge)
+        except RuntimeError:        # pragma: no cover - loop shut down
+            purge()
+
     # ------------------------------------------------------- worker side
     def _on_slice(self, request: _Request, outcome: SliceOutcome) -> None:
         """One slice outcome, on a pool-owned thread."""
         loop = self._loop
-        if request.state == QUEUED:
+        if request.state in TERMINAL_STATES:
+            return
+        if outcome.status == WORKER_DIED:
+            # Supervision-synthesized: the worker hosting this request
+            # died (outcome.error says how).  Recovery runs on the loop.
+            loop.call_soon_threadsafe(self._recover, request, outcome.error)
+            return
+        if request.state in (QUEUED, RETRYING):
             request.state = RUNNING
         if outcome.error is not None:
             loop.call_soon_threadsafe(self._fail, request, outcome.error)
             return
-        if outcome.stats is not None \
-                and self.pool.backend_name == "processes":
-            # Refresh the loop-side shell so handle.session.stats tracks
-            # the search living in the worker process.  (On the thread
-            # tier the hosted session *is* the shell — don't replace the
-            # stats object under the running step loop.)
-            request.session.stats = outcome.stats
+        if outcome.checkpoint is not None:
+            # The newest replay point; anything before it never needs
+            # re-executing.
+            request.checkpoint = outcome.checkpoint
+            request.checkpoint_visited = \
+                outcome.stats.visited if outcome.stats is not None else 0
+        if outcome.stats is not None:
+            request.last_visited = outcome.stats.visited
+            if self.pool.backend_name == "processes":
+                # Refresh the loop-side shell so handle.session.stats
+                # tracks the search living in the worker process.  (On
+                # the thread tier the hosted session *is* the shell —
+                # don't replace the stats object under the running step
+                # loop.)
+                request.session.stats = outcome.stats
         for query in outcome.new_queries:
             loop.call_soon_threadsafe(
                 request.stream_queue.put_nowait, query)
@@ -326,29 +456,96 @@ class SynthesisService:
                 and self.pool.idle_workers(exclude=request.worker_id) > 0:
             # Idle capacity and the request asked for parallelism: next
             # turn re-dispatches the remaining lanes at a round boundary.
-            self.pool.run(request.request_id)
+            self.pool.run(outcome.request_id)
         else:
             # Back of this worker's queue: other live requests pinned
             # here get their slice before our next one.
-            self.pool.step(request.request_id)
+            self.pool.step(outcome.request_id)
+
+    # ---------------------------------------------------------- recovery
+    def _recover(self, request: _Request, error: str | None) -> None:
+        """Replay a request whose worker died, from its latest checkpoint
+        (loop thread).  Determinism makes this transparent: the replayed
+        session re-executes the lost pops and produces the byte-identical
+        ranked result the dead worker would have."""
+        if request.state in TERMINAL_STATES:
+            return
+        request.errors.append(error or "worker died")
+        if request.checkpoint is None:
+            self._fail(request,
+                       "worker died and the session has no checkpoint to "
+                       "replay:\n" + "\n---\n".join(request.errors))
+            return
+        if request.retries >= self.config.max_retries:
+            self._fail(request,
+                       f"retry budget exhausted "
+                       f"({self.config.max_retries} replay"
+                       f"{'' if self.config.max_retries == 1 else 's'}); "
+                       f"worker errors were:\n"
+                       + "\n---\n".join(request.errors))
+            return
+        request.retries += 1
+        self._retries_total += 1
+        self._replayed_pops += max(
+            0, request.last_visited - request.checkpoint_visited)
+        request.state = RETRYING
+        try:
+            resumed = SynthesisSession.resume(request.checkpoint,
+                                              env=request.session.env)
+        except Exception as exc:
+            self._fail(request, f"checkpoint replay failed: {exc!r}; "
+                       "worker errors were:\n"
+                       + "\n---\n".join(request.errors))
+            return
+        if request.cancel_requested:
+            # Cancel-during-recovery: the intent survives the crash.
+            resumed.cancel()
+        request.session = resumed
+        request.last_visited = request.checkpoint_visited
+        worker = self._healthy_worker()
+        request.worker_id = worker
+        # Re-pin this shape's affinity: the old pin pointed at state
+        # that died with the worker.
+        route = (warm_key(resumed.config, resumed.abstraction_spec),
+                 request.env_key)
+        if resumed.abstraction_spec is not None:
+            self._affinity[route] = worker
+        try:
+            request.request_id = self.pool.submit_request(
+                resumed, worker_id=worker,
+                slice_pops=self.config.slice_pops,
+                deadline=request.deadline, env_key=request.env_key,
+                on_slice=lambda outcome: self._on_slice(request, outcome))
+        except Exception as exc:
+            self._fail(request, f"re-dispatch after worker death failed: "
+                       f"{exc!r}")
 
     def _cancel(self, request: _Request) -> None:
         # Flag the shell session (covers the thread tier, where it is
         # the live search, and keeps handle.status honest) and the pool
-        # side (covers a process-hosted copy mid-slice).
+        # side (covers a process-hosted copy mid-slice).  The sticky
+        # flag covers recovery: a replayed session is re-cancelled
+        # before re-dispatch.
+        request.cancel_requested = True
         request.session.cancel()
         if request.request_id is not None:
             self.pool.cancel(request.request_id)
 
     def _finalize(self, request: _Request, result: SynthesisResult,
                   state: str) -> None:
+        if request.state in TERMINAL_STATES:
+            return      # terminal states are sticky (late-outcome race)
         request.state = state
         self._live.discard(request)
+        if request.retries > 0:
+            self._recovered += 1
         if not request.future.done():
             request.future.set_result(result)
         request.stream_queue.put_nowait(_EOS)
 
     def _fail(self, request: _Request, error: str) -> None:
+        if request.state in TERMINAL_STATES:
+            return      # terminal states are sticky (late-outcome race)
         request.state = FAILED
         self._live.discard(request)
         if not request.future.done():
@@ -356,3 +553,19 @@ class SynthesisService:
                 RuntimeError(f"request failed on worker "
                              f"{request.worker_id}:\n{error}"))
         request.stream_queue.put_nowait(_EOS)
+
+    # --------------------------------------------------------- telemetry
+    def health(self) -> dict:
+        """Operator snapshot: live-request states, recovery counters, and
+        the pool's per-worker liveness (the CLI ``serve`` surface)."""
+        states: dict[str, int] = {}
+        for request in list(self._live):
+            states[request.state] = states.get(request.state, 0) + 1
+        return {
+            "live_requests": len(self._live),
+            "states": states,
+            "retries": self._retries_total,
+            "recovered_requests": self._recovered,
+            "replayed_pops": self._replayed_pops,
+            "pool": self.pool.health(),
+        }

@@ -127,6 +127,7 @@ class SynthesisSession:
         self._stop_built = None
         self._live_cancel = None                 # shard cancel token, if any
         self._cancel_probe = None                # external cancel flag, if any
+        self._pop_hook = None                    # per-pop callback, if any
 
     # ------------------------------------------------------------ lifecycle
     @property
@@ -181,6 +182,7 @@ class SynthesisSession:
         stop = self._stop_built
         worklist, stats = self._worklist, self.stats
         probe = self._cancel_probe
+        hook = self._pop_hook
         new_queries: list[ast.Query] = []
         pops = 0
         try:
@@ -207,6 +209,8 @@ class SynthesisSession:
                     break
                 size, lane_id, query = worklist.pop()
                 pops += 1
+                if hook is not None:
+                    hook()
                 outcome, expansions = process_pop(
                     query, self.env, self.demo, cfg, abstraction, engine,
                     stats)
@@ -278,6 +282,16 @@ class SynthesisSession:
         service flips, no queue round-trip involved.  Runtime-only state —
         never checkpointed."""
         self._cancel_probe = probe
+
+    def set_pop_hook(self, hook) -> None:
+        """Run a zero-argument callable once per pop inside ``step``.
+
+        The hook observes, delays or aborts the loop — it must not touch
+        search state (the determinism pledge is not its to spend).  The
+        serving tier's fault injector uses it to realize mid-slice
+        crashes and hangs at an exact, replayable pop.  Runtime-only
+        state — never checkpointed; ``None`` clears it."""
+        self._pop_hook = hook
 
     def _finish(self) -> None:
         self._phase = DONE
@@ -542,6 +556,7 @@ class SynthesisSession:
         self._stop_built = None
         self._live_cancel = None
         self._cancel_probe = None
+        self._pop_hook = None
 
     def __repr__(self) -> str:
         return (f"SynthesisSession(status={self.status!r}, "

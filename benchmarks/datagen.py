@@ -1,0 +1,77 @@
+"""Seeded large-scale inputs for the database-oracle benchmarks.
+
+The registry tables stay at the paper's working scale (§5.1 samples
+inputs down to ~20 rows), which is right for synthesis but useless for
+exercising the oracle's loader and the renderer's window/join SQL at
+database scale.  This module grows inputs to whatever row count the
+nightly leg asks for — everything flows through
+:func:`repro.util.rng.stable_rng`, so a failure reproduces from its
+(rows, seed) pair alone.
+
+Distinct from :mod:`repro.benchmarks.datagen`, which builds the small
+registry tables; this file belongs to the benchmark tier and never ships
+in the library.
+"""
+
+from __future__ import annotations
+
+from repro.lang import Env
+from repro.table.schema import ForeignKey
+from repro.table.table import Table
+from repro.util.rng import stable_rng
+
+REGIONS = ("North", "South", "East", "West", "Central")
+SEGMENTS = ("Retail", "Wholesale", "Online")
+
+
+def oracle_dim_table(name: str = "regions", seed: int = 0) -> Table:
+    """Small dimension table: (RegionID, Region, Segment)."""
+    rng = stable_rng(f"oracle-dim:{name}", seed)
+    rows = [[i, region, rng.choice(SEGMENTS)]
+            for i, region in enumerate(REGIONS)]
+    return Table.from_rows(name, ["RegionID", "Region", "Segment"], rows,
+                           primary_key=("RegionID",))
+
+
+def oracle_fact_table(rows: int, name: str = "sales", seed: int = 0,
+                      dim: Table | None = None) -> Table:
+    """Wide fact table: (OrderID, RegionID, Quarter, Units, Price, Flag).
+
+    Mixes the value shapes the oracle must round-trip at scale: ints,
+    floats needing tolerance, NULLs (~3% of Units), and booleans.
+    """
+    rng = stable_rng(f"oracle-fact:{name}", seed)
+    n_regions = dim.n_rows if dim is not None else len(REGIONS)
+    data = []
+    for i in range(rows):
+        units = None if rng.random() < 0.03 else rng.randrange(1, 500)
+        data.append([i, rng.randrange(n_regions), rng.randrange(1, 5),
+                     units, round(rng.uniform(0.5, 999.75), 2),
+                     rng.random() < 0.5])
+    fks = () if dim is None else (
+        ForeignKey("RegionID", dim.name, "RegionID"),)
+    return Table.from_rows(
+        name, ["OrderID", "RegionID", "Quarter", "Units", "Price", "Flag"],
+        data, primary_key=("OrderID",), foreign_keys=fks)
+
+
+def oracle_env(rows: int, seed: int = 0) -> Env:
+    """A >``rows``-row fact table plus its dimension, FK-linked."""
+    dim = oracle_dim_table(seed=seed)
+    fact = oracle_fact_table(rows, seed=seed, dim=dim)
+    return Env.of(fact, dim)
+
+
+def scale_table(table: Table, rows: int, seed: int = 0) -> Table:
+    """Resample an existing table's rows (with replacement) to ``rows``.
+
+    Value distributions per column are preserved row-wise, so plans typed
+    on the original table stay typed on the scaled one.
+    """
+    if table.n_rows == 0:
+        return table
+    rng = stable_rng(f"oracle-scale:{table.name}", seed)
+    data = [list(rng.choice(table.rows)) for _ in range(rows)]
+    return Table.from_rows(table.name, table.columns, data,
+                           primary_key=(),
+                           foreign_keys=table.schema.foreign_keys)

@@ -1,0 +1,84 @@
+"""Database oracle at scale: the differential check on >100k-row inputs.
+
+The tier-1 oracle suite (:mod:`tests.test_oracle`) proves correctness on
+registry-sized tables; this benchmark proves the loader and the rendered
+SQL hold up when the fact table is five to six orders of magnitude past a
+demonstration.  Representative plans (filter, group, window cumsum, rank,
+sort, arithmetic, fact→dim FK join — no big×big cross products) run
+through :func:`repro.oracle.check_query` on every available database and
+must compare clean.
+
+Knobs, for the nightly leg:
+
+* ``REPRO_ORACLE_ROWS`` — fact-table rows (default 5000; nightly 120000);
+* ``REPRO_ORACLE_SEEDS`` — distinct seeded datasets (default 2).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.lang import (
+    Arithmetic,
+    Filter,
+    Group,
+    Join,
+    Partition,
+    Proj,
+    Sort,
+    TableRef,
+)
+from repro.lang.predicates import ColCmp, ConstCmp
+from repro.oracle import HAVE_DUCKDB, Oracle, check_query
+
+from datagen import oracle_env
+
+ROWS = int(os.environ.get("REPRO_ORACLE_ROWS", "5000"))
+SEEDS = int(os.environ.get("REPRO_ORACLE_SEEDS", "2"))
+
+DB_DIALECTS = ["sqlite",
+               pytest.param("duckdb",
+                            marks=pytest.mark.skipif(
+                                not HAVE_DUCKDB,
+                                reason="duckdb not installed"))]
+
+# Fact columns: 0 OrderID, 1 RegionID, 2 Quarter, 3 Units, 4 Price, 5 Flag.
+FACT = TableRef("sales")
+PLANS = {
+    "filter": Filter(FACT, ConstCmp(3, ">", 250)),
+    "group-sum": Group(FACT, keys=(1, 2), agg_func="sum", agg_col=3),
+    "partition-cumsum": Partition(FACT, keys=(1,), agg_func="cumsum",
+                                  agg_col=4),
+    "rank-desc": Partition(Group(FACT, keys=(1,), agg_func="avg",
+                                 agg_col=4),
+                           keys=(), agg_func="rank_desc", agg_col=1),
+    "sort": Sort(Filter(FACT, ConstCmp(5, "==", True)),
+                 cols=(4, 0), ascending=False),
+    "arithmetic-div": Proj(Arithmetic(FACT, func="div", cols=(4, 3)),
+                           cols=(0, 6)),
+    "fk-join": Group(Join(FACT, TableRef("regions"), ColCmp(1, "==", 6)),
+                     keys=(7,), agg_func="sum", agg_col=3),
+}
+
+
+@pytest.fixture(scope="module", params=range(SEEDS),
+                ids=[f"seed{s}" for s in range(SEEDS)])
+def env(request):
+    return oracle_env(ROWS, seed=request.param)
+
+
+@pytest.mark.parametrize("dialect", DB_DIALECTS)
+@pytest.mark.parametrize("plan", PLANS, ids=list(PLANS))
+def test_plan_matches_database_at_scale(env, dialect, plan):
+    # One oracle per (env, dialect) would be nicer still, but the loader
+    # is itself part of what this benchmark times — keep it in the test.
+    with Oracle(env, dialect) as oracle:
+        outcome = check_query(PLANS[plan], env, dialect, oracle=oracle)
+        assert outcome.status == "ok", (
+            outcome.skip_reason or outcome.mismatch.describe())
+
+
+def test_fact_table_meets_row_floor(env):
+    assert env.get("sales").n_rows == ROWS

@@ -36,5 +36,17 @@ class SynthesisError(ReproError):
     """The synthesizer was configured inconsistently."""
 
 
+class SqlRenderError(ReproError):
+    """A query cannot be rendered in the requested SQL dialect."""
+
+
+class OracleError(ReproError):
+    """The database oracle failed to set up or execute a query."""
+
+
+class OracleUnsupportedError(OracleError):
+    """An input table holds values outside the oracle's SQL-typed domain."""
+
+
 class BenchmarkError(ReproError):
     """A benchmark task definition is internally inconsistent."""

@@ -38,7 +38,13 @@ from repro.lang.predicates import (
     TruePred,
 )
 from repro.lang.size import operator_count, query_depth
-from repro.lang.sql_render import to_sql
+from repro.lang.sql_render import (
+    DIALECTS,
+    Dialect,
+    ordinal_name,
+    resolve_dialect,
+    to_sql,
+)
 from repro.lang.instruction import to_instructions
 from repro.lang.parser import ParseError, parse_instructions
 
@@ -50,5 +56,6 @@ __all__ = [
     "FUNCTIONS", "AGGREGATE_FUNCTIONS", "ANALYTIC_FUNCTIONS",
     "ARITHMETIC_FUNCTIONS", "function_spec", "analytic_spec", "apply_function",
     "operator_count", "query_depth", "to_sql", "to_instructions",
+    "Dialect", "DIALECTS", "resolve_dialect", "ordinal_name",
     "parse_instructions", "ParseError",
 ]

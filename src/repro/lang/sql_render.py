@@ -1,19 +1,164 @@
-"""Render a concrete query as analytical SQL text.
+"""Render a concrete query as SQL text — paper-style or executable dialects.
 
-The output mirrors the paper's presentation (Fig. 2): nested subqueries,
-``GROUP BY`` for group-aggregation and ``... OVER (PARTITION BY ...)`` for
-partition-aggregation.  Rendering is for human consumption — synthesized
-queries are *presented* as SQL; evaluation happens on the AST.
+Three dialects share one renderer:
+
+* ``display`` mirrors the paper's presentation (Fig. 2): nested subqueries,
+  bare identifiers, ``CUMSUM(...) OVER (PARTITION BY ...)`` shorthand.  It is
+  for human consumption only — ``ORDER BY`` inside subqueries, for instance,
+  is shown where the AST puts it even though real SQL drops subquery
+  ordering (the executable dialects thread ordering to the outermost
+  ``SELECT`` instead).
+* ``sqlite`` / ``duckdb`` emit *executable* SQL: quoted identifiers, escaped
+  literals, aliased subqueries with explicit projections matching
+  :func:`~repro.lang.naming.joined_columns` / ``output_columns``, and
+  standard window frames (``SUM(x) OVER (PARTITION BY k ORDER BY o ROWS
+  BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW)`` instead of ``CUMSUM``).
+
+The engine evaluates ordered bags, so executable SQL must reproduce row
+*order*, not just row *content*.  Every subquery therefore threads a row
+ordinal column (:func:`ordinal_name`): base tables supply it (the oracle
+loader materializes insertion order), ``join`` / ``sort`` / ``group``
+re-derive it (``ROW_NUMBER()`` over the nested-loop order, the stable sort
+key, ``MIN(ord)`` per group), and the outermost ``SELECT`` orders by it.
+Executable engine-semantics adaptations live here too, driven by the
+:class:`Dialect` table: ``SUM`` coalesces to 0 on empty/all-NULL input the
+way the engine's ``sum`` does, division guards against ``/0`` (NULL, like
+the engine) and forces float division, ranks pin NULL placement to the
+engine's sort-class order.
 """
 
 from __future__ import annotations
 
-from repro.errors import HoleError
+from dataclasses import dataclass
+
+from repro.errors import HoleError, SqlRenderError
 from repro.lang import ast
-from repro.lang.functions import function_spec
-from repro.lang.holes import Hole, is_concrete
-from repro.lang.naming import joined_columns, output_columns
+from repro.lang.functions import analytic_spec, function_spec
+from repro.lang.holes import is_concrete
+from repro.lang.naming import fresh_name, joined_columns, output_columns
 from repro.lang.predicates import AndPred, ColCmp, ConstCmp, FalsePred, Predicate, TruePred
+
+#: int64 bounds — executable dialects store integers as 8-byte values.
+_INT64_MIN, _INT64_MAX = -(2**63), 2**63 - 1
+
+
+@dataclass(frozen=True)
+class Dialect:
+    """Per-dialect rendering quirks; everything else is shared.
+
+    ``db`` names the driver the oracle uses (``None`` = display only).
+    ``coalesce_empty_sum`` exists so tests can engineer a semantics bug
+    (plain SQL ``SUM`` is NULL on all-NULL input where the engine says 0)
+    and watch the differential oracle catch and minimize it.
+    """
+
+    name: str
+    db: str | None = None          # "sqlite" | "duckdb" | None (display only)
+    float_cast: str = "REAL"       # CAST target forcing float division
+    int_type: str = "INTEGER"      # column declarations used by the oracle loader
+    float_type: str = "REAL"
+    text_type: str = "TEXT"
+    bool_type: str = "INTEGER"
+    bool_as_int: bool = True       # encode bools as 0/1 when loading
+    coalesce_empty_sum: bool = True
+
+    @property
+    def executable(self) -> bool:
+        return self.db is not None
+
+
+DISPLAY = Dialect("display")
+SQLITE = Dialect("sqlite", db="sqlite")
+DUCKDB = Dialect("duckdb", db="duckdb", float_cast="DOUBLE", int_type="BIGINT",
+                 float_type="DOUBLE", text_type="VARCHAR", bool_type="BOOLEAN",
+                 bool_as_int=False)
+
+DIALECTS: dict[str, Dialect] = {d.name: d for d in (DISPLAY, SQLITE, DUCKDB)}
+
+
+def resolve_dialect(dialect: str | Dialect) -> Dialect:
+    if isinstance(dialect, Dialect):
+        return dialect
+    try:
+        return DIALECTS[dialect]
+    except KeyError:
+        raise SqlRenderError(
+            f"unknown SQL dialect {dialect!r}; have {sorted(DIALECTS)}") from None
+
+
+def ordinal_name(env: ast.Env) -> str:
+    """The row-ordinal column name threaded through executable SQL.
+
+    Deterministic per environment so the oracle loader (which sees only the
+    env) and the renderer (which sees query + env) agree on it.
+    """
+    taken = [c for table in env.tables for c in table.columns]
+    return fresh_name("__ord", taken)
+
+
+# ------------------------------------------------------------------ literals
+
+_SQL_OPS = {"==": "=", "!=": "<>", "<": "<", "<=": "<=", ">": ">", ">=": ">="}
+
+
+def _sql_op(op: str) -> str:
+    try:
+        return _SQL_OPS[op]
+    except KeyError:
+        raise SqlRenderError(f"cannot render comparison operator {op!r}") from None
+
+
+def _literal(value, dialect: Dialect) -> str:
+    """A SQL literal for a constant; escaped, with SQL TRUE/FALSE/NULL."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, int):
+        if dialect.executable and not _INT64_MIN <= value <= _INT64_MAX:
+            raise SqlRenderError(f"integer constant {value} exceeds int64")
+        return str(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise SqlRenderError(f"non-finite float constant {value!r}")
+        return repr(value)
+    if isinstance(value, str):
+        if dialect.executable and "\x00" in value:
+            raise SqlRenderError("NUL byte in string constant")
+        return "'" + value.replace("'", "''") + "'"
+    raise SqlRenderError(f"cannot render constant {value!r}")
+
+
+def _qid(name: str) -> str:
+    """A quoted identifier (executable dialects)."""
+    if "\x00" in name:
+        raise SqlRenderError(f"NUL byte in identifier {name!r}")
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _render_pred(pred: Predicate, refs: list[str], dialect: Dialect) -> str:
+    """Render a predicate over column references ``refs``."""
+    if isinstance(pred, TruePred):
+        return "TRUE"
+    if isinstance(pred, FalsePred):
+        return "FALSE"
+    if isinstance(pred, ColCmp):
+        return f"{refs[pred.left]} {_sql_op(pred.op)} {refs[pred.right]}"
+    if isinstance(pred, ConstCmp):
+        return (f"{refs[pred.col]} {_sql_op(pred.op)} "
+                f"{_literal(pred.const, dialect)}")
+    if isinstance(pred, AndPred):
+        if not pred.parts:
+            return "TRUE"
+        return " AND ".join(_render_pred(p, refs, dialect) for p in pred.parts)
+    raise HoleError(f"cannot render predicate {pred!r}")
+
+
+def _indent(text: str, prefix: str = "  ") -> str:
+    return "\n".join(prefix + line for line in text.splitlines())
+
+
+# ------------------------------------------------- display (paper-style) SQL
 
 _WINDOW_NAMES = {
     "cumsum": "CUMSUM", "cummax": "CUMMAX", "cummin": "CUMMIN",
@@ -22,56 +167,46 @@ _WINDOW_NAMES = {
 }
 
 
-def _render_pred(pred: Predicate, columns: list[str]) -> str:
-    if isinstance(pred, TruePred):
-        return "TRUE"
-    if isinstance(pred, FalsePred):
-        return "FALSE"
-    if isinstance(pred, ColCmp):
-        op = "=" if pred.op == "==" else pred.op
-        return f"{columns[pred.left]} {op} {columns[pred.right]}"
-    if isinstance(pred, ConstCmp):
-        op = "=" if pred.op == "==" else pred.op
-        const = f"'{pred.const}'" if isinstance(pred.const, str) else str(pred.const)
-        return f"{columns[pred.col]} {op} {const}"
-    if isinstance(pred, AndPred):
-        return " AND ".join(_render_pred(p, columns) for p in pred.parts)
-    raise HoleError(f"cannot render predicate {pred!r}")
-
-
-def _indent(text: str, prefix: str = "  ") -> str:
-    return "\n".join(prefix + line for line in text.splitlines())
-
-
-def _render(query: ast.Query, env: ast.Env) -> str:
+def _render_display(query: ast.Query, env: ast.Env) -> str:
     if isinstance(query, ast.TableRef):
         return query.name
 
     if isinstance(query, ast.Filter):
         cols = output_columns(query.child, env)
-        return (f"SELECT * FROM (\n{_indent(_render(query.child, env))}\n)"
-                f" WHERE {_render_pred(query.pred, cols)}")
+        pred = _render_pred(query.pred, list(cols), DISPLAY)
+        return (f"SELECT * FROM (\n{_indent(_render_display(query.child, env))}\n)"
+                f" WHERE {pred}")
 
     if isinstance(query, (ast.Join, ast.LeftJoin)):
         left_cols = output_columns(query.left, env)
         right_cols = output_columns(query.right, env)
-        cols = joined_columns(left_cols, right_cols)
+        out = joined_columns(left_cols, right_cols)
+        # Alias each side and project the renamed columns explicitly: a bare
+        # SELECT * would emit ambiguous duplicates whenever both sides share
+        # a column name, while the engine renames via joined_columns.
+        select = ", ".join(
+            [f"a.{c}" for c in left_cols]
+            + [f"b.{c}" if out[len(left_cols) + i] == c
+               else f"b.{c} AS {out[len(left_cols) + i]}"
+               for i, c in enumerate(right_cols)])
+        refs = [f"a.{c}" for c in left_cols] + [f"b.{c}" for c in right_cols]
         kind = "LEFT JOIN" if isinstance(query, ast.LeftJoin) else "JOIN"
         pred = getattr(query, "pred", None)
-        on = "" if pred is None else f" ON {_render_pred(pred, cols)}"
-        return (f"SELECT * FROM (\n{_indent(_render(query.left, env))}\n) {kind} (\n"
-                f"{_indent(_render(query.right, env))}\n){on}")
+        on = "" if pred is None else f" ON {_render_pred(pred, refs, DISPLAY)}"
+        return (f"SELECT {select} FROM (\n"
+                f"{_indent(_render_display(query.left, env))}\n) AS a {kind} (\n"
+                f"{_indent(_render_display(query.right, env))}\n) AS b{on}")
 
     if isinstance(query, ast.Proj):
         child_cols = output_columns(query.child, env)
         select = ", ".join(child_cols[c] for c in query.cols)
-        return f"SELECT {select} FROM (\n{_indent(_render(query.child, env))}\n)"
+        return f"SELECT {select} FROM (\n{_indent(_render_display(query.child, env))}\n)"
 
     if isinstance(query, ast.Sort):
         cols = output_columns(query.child, env)
         direction = "ASC" if query.ascending else "DESC"
         order = ", ".join(f"{cols[c]} {direction}" for c in query.cols)
-        return (f"SELECT * FROM (\n{_indent(_render(query.child, env))}\n)"
+        return (f"SELECT * FROM (\n{_indent(_render_display(query.child, env))}\n)"
                 f" ORDER BY {order}")
 
     if isinstance(query, ast.Group):
@@ -79,7 +214,11 @@ def _render(query: ast.Query, env: ast.Env) -> str:
         out_cols = output_columns(query, env)
         keys = ", ".join(cols[k] for k in query.keys)
         agg = f"{query.agg_func.upper()}({cols[query.agg_col]}) AS {out_cols[-1]}"
-        return (f"SELECT {keys}, {agg} FROM (\n{_indent(_render(query.child, env))}\n)"
+        if not query.keys:
+            return (f"SELECT {agg} FROM (\n"
+                    f"{_indent(_render_display(query.child, env))}\n)")
+        return (f"SELECT {keys}, {agg} FROM (\n"
+                f"{_indent(_render_display(query.child, env))}\n)"
                 f" GROUP BY {keys}")
 
     if isinstance(query, ast.Partition):
@@ -87,9 +226,11 @@ def _render(query: ast.Query, env: ast.Env) -> str:
         out_cols = output_columns(query, env)
         keys = ", ".join(cols[k] for k in query.keys)
         fname = _WINDOW_NAMES.get(query.agg_func, query.agg_func.upper())
-        window = (f"{fname}({cols[query.agg_col]}) OVER (PARTITION BY {keys})"
+        over = f"PARTITION BY {keys}" if query.keys else ""
+        window = (f"{fname}({cols[query.agg_col]}) OVER ({over})"
                   f" AS {out_cols[-1]}")
-        return f"SELECT *, {window} FROM (\n{_indent(_render(query.child, env))}\n)"
+        return (f"SELECT *, {window} FROM (\n"
+                f"{_indent(_render_display(query.child, env))}\n)")
 
     if isinstance(query, ast.Arithmetic):
         cols = output_columns(query.child, env)
@@ -100,13 +241,222 @@ def _render(query: ast.Query, env: ast.Env) -> str:
         else:
             expr = f"{query.func}({', '.join(cols[c] for c in query.cols)})"
         return (f"SELECT *, {expr} AS {out_cols[-1]} FROM (\n"
-                f"{_indent(_render(query.child, env))}\n)")
+                f"{_indent(_render_display(query.child, env))}\n)")
 
     raise HoleError(f"cannot render {type(query).__name__}")
 
 
-def to_sql(query: ast.Query, env: ast.Env) -> str:
-    """Render a concrete query as SQL text; raises on partial queries."""
+# ------------------------------------------------------------ executable SQL
+
+#: Arithmetic templates with engine semantics: float (true) division, NULL
+#: on division by zero, NULL propagation (native to SQL operators).
+_ARITH_EXEC = {
+    "add": "({0} + {1})",
+    "sub": "({0} - {1})",
+    "mul": "({0} * {1})",
+    "div": "CASE WHEN {1} = 0 THEN NULL ELSE CAST({0} AS {flt}) / {1} END",
+    "percent": ("CASE WHEN {1} = 0 THEN NULL"
+                " ELSE CAST({0} AS {flt}) / {1} * 100 END"),
+    "pct_change": ("CASE WHEN {1} = 0 THEN NULL"
+                   " ELSE CAST({0} - {1} AS {flt}) / {1} * 100 END"),
+}
+
+_AGG_SQL = {"sum": "SUM", "avg": "AVG", "max": "MAX", "min": "MIN",
+            "count": "COUNT"}
+
+
+def _agg_sql(func: str, arg: str, over: str, dialect: Dialect) -> str:
+    """An aggregate call (``over`` empty) or window aggregate."""
+    try:
+        sql_name = _AGG_SQL[func]
+    except KeyError:
+        raise SqlRenderError(f"cannot render aggregate {func!r}") from None
+    expr = f"{sql_name}({arg}){over}"
+    if func == "sum" and dialect.coalesce_empty_sum:
+        # The engine's sum of an empty / all-NULL argument list is 0.
+        expr = f"COALESCE({expr}, 0)"
+    return expr
+
+
+def _window_sql(func: str, arg: str, part_keys: list[str], ord_ref: str,
+                dialect: Dialect) -> str:
+    """A window expression with engine semantics for analytic ``func``."""
+    spec = analytic_spec(func)
+    part = f"PARTITION BY {', '.join(part_keys)}" if part_keys else ""
+    if spec.style == "all":
+        return _agg_sql(spec.term_name, arg, f" OVER ({part})", dialect)
+    if spec.style == "prefix":
+        frame = (f"ORDER BY {ord_ref}"
+                 " ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW")
+        over = f" OVER ({part} {frame})" if part else f" OVER ({frame})"
+        return _agg_sql(spec.term_name, arg, over, dialect)
+    if spec.style == "ranked":
+        dense = func.startswith("dense")
+        desc = func.endswith("_desc")
+        fn = "DENSE_RANK()" if dense else "RANK()"
+        direction = "DESC" if desc else "ASC"
+        order = f"ORDER BY {arg} {direction} NULLS LAST"
+        over = f" OVER ({part} {order})" if part else f" OVER ({order})"
+        expr = f"{fn}{over}"
+        if desc:
+            # The engine ranks by sort class (NULL greatest), ignoring NULLs
+            # in the comparison pool: descending, a NULL row ranks 1 while
+            # non-NULL rows never count NULLs ahead of them.  No single
+            # NULLS FIRST/LAST placement reproduces both, so rank with
+            # NULLS LAST and pin the NULL rows to 1 explicitly.
+            expr = f"CASE WHEN {arg} IS NULL THEN 1 ELSE {expr} END"
+        return expr
+    raise SqlRenderError(f"cannot render analytic {func!r}")
+
+
+def _render_exec(query: ast.Query, env: ast.Env, dialect: Dialect,
+                 ordq: str) -> str:
+    """Render ``query``; output columns are ``output_columns(query) + ord``."""
+    if isinstance(query, ast.TableRef):
+        cols = env.get(query.name).columns
+        select = ", ".join([_qid(c) for c in cols] + [ordq])
+        return f"SELECT {select} FROM {_qid(query.name)}"
+
+    if isinstance(query, ast.Filter):
+        cols = output_columns(query.child, env)
+        select = ", ".join([_qid(c) for c in cols] + [ordq])
+        pred = _render_pred(query.pred, [_qid(c) for c in cols], dialect)
+        return (f"SELECT {select} FROM (\n"
+                f"{_indent(_render_exec(query.child, env, dialect, ordq))}\n"
+                f') AS "t" WHERE {pred}')
+
+    if isinstance(query, (ast.Join, ast.LeftJoin)):
+        left_cols = output_columns(query.left, env)
+        right_cols = output_columns(query.right, env)
+        out = joined_columns(left_cols, right_cols)
+        refs = ([f'"a".{_qid(c)}' for c in left_cols]
+                + [f'"b".{_qid(c)}' for c in right_cols])
+        select = ", ".join(
+            [f"{ref} AS {_qid(name)}" for ref, name in zip(refs, out)]
+            # The nested-loop order is left-major: re-derive a dense ordinal
+            # from the (left, right) ordinal pair (right NULL on LEFT JOIN
+            # pad rows is unique per left row, so placement cannot tie).
+            + [f'ROW_NUMBER() OVER (ORDER BY "a".{ordq}, "b".{ordq})'
+               f" AS {ordq}"])
+        if isinstance(query, ast.LeftJoin):
+            kind, pred = "LEFT JOIN", query.pred
+        elif query.pred is None:
+            kind, pred = "CROSS JOIN", None
+        else:
+            kind, pred = "JOIN", query.pred
+        on = "" if pred is None else f" ON {_render_pred(pred, refs, dialect)}"
+        return (f"SELECT {select} FROM (\n"
+                f"{_indent(_render_exec(query.left, env, dialect, ordq))}\n"
+                f') AS "a" {kind} (\n'
+                f"{_indent(_render_exec(query.right, env, dialect, ordq))}\n"
+                f') AS "b"{on}')
+
+    if isinstance(query, ast.Proj):
+        child_cols = output_columns(query.child, env)
+        out = output_columns(query, env)
+        select = ", ".join(
+            [f"{_qid(child_cols[c])} AS {_qid(out[i])}"
+             for i, c in enumerate(query.cols)] + [ordq])
+        return (f"SELECT {select} FROM (\n"
+                f"{_indent(_render_exec(query.child, env, dialect, ordq))}\n"
+                f') AS "t"')
+
+    if isinstance(query, ast.Sort):
+        cols = output_columns(query.child, env)
+        # The engine's stable sort orders by sort class (NULL greatest):
+        # ascending puts NULLs last, descending (a full reversal) first;
+        # ties keep their original order — the old ordinal breaks them.
+        direction = "ASC NULLS LAST" if query.ascending else "DESC NULLS FIRST"
+        terms = ", ".join([f"{_qid(cols[c])} {direction}" for c in query.cols]
+                          + [f"{ordq} ASC"])
+        select = ", ".join(
+            [_qid(c) for c in cols]
+            + [f"ROW_NUMBER() OVER (ORDER BY {terms}) AS {ordq}"])
+        return (f"SELECT {select} FROM (\n"
+                f"{_indent(_render_exec(query.child, env, dialect, ordq))}\n"
+                f') AS "t"')
+
+    if isinstance(query, ast.Group):
+        cols = output_columns(query.child, env)
+        out = output_columns(query, env)
+        agg = _agg_sql(query.agg_func, _qid(cols[query.agg_col]), "", dialect)
+        select = ", ".join(
+            [f"{_qid(cols[k])} AS {_qid(out[i])}"
+             for i, k in enumerate(query.keys)]
+            + [f"{agg} AS {_qid(out[-1])}",
+               # Groups surface in first-occurrence order.
+               f"MIN({ordq}) AS {ordq}"])
+        if query.keys:
+            group_by = ", ".join(_qid(cols[k]) for k in query.keys)
+        else:
+            # Empty key set: one group over all rows, *no* group on empty
+            # input (unlike a bare aggregate, which always yields one row).
+            # A constant expression over a real column groups exactly so.
+            group_by = f"{ordq} * 0"
+        return (f"SELECT {select} FROM (\n"
+                f"{_indent(_render_exec(query.child, env, dialect, ordq))}\n"
+                f') AS "t" GROUP BY {group_by}')
+
+    if isinstance(query, ast.Partition):
+        cols = output_columns(query.child, env)
+        out = output_columns(query, env)
+        window = _window_sql(query.agg_func, _qid(cols[query.agg_col]),
+                             [_qid(cols[k]) for k in query.keys], ordq,
+                             dialect)
+        select = ", ".join([_qid(c) for c in cols]
+                           + [f"{window} AS {_qid(out[-1])}", ordq])
+        return (f"SELECT {select} FROM (\n"
+                f"{_indent(_render_exec(query.child, env, dialect, ordq))}\n"
+                f') AS "t"')
+
+    if isinstance(query, ast.Arithmetic):
+        cols = output_columns(query.child, env)
+        out = output_columns(query, env)
+        template = _ARITH_EXEC.get(query.func)
+        if template is None:
+            raise SqlRenderError(f"cannot render arithmetic {query.func!r}")
+        args = [_qid(cols[c]) for c in query.cols]
+        expr = template.format(*args, flt=dialect.float_cast)
+        select = ", ".join([_qid(c) for c in cols]
+                           + [f"{expr} AS {_qid(out[-1])}", ordq])
+        return (f"SELECT {select} FROM (\n"
+                f"{_indent(_render_exec(query.child, env, dialect, ordq))}\n"
+                f') AS "t"')
+
+    raise HoleError(f"cannot render {type(query).__name__}")
+
+
+def _render_executable(query: ast.Query, env: ast.Env,
+                       dialect: Dialect) -> str:
+    ord_name = ordinal_name(env)
+    cache: dict = {}
+    for node in query.walk():
+        if isinstance(node, ast.TableRef):
+            continue
+        if ord_name in output_columns(node, env, cache):
+            raise SqlRenderError(
+                f"derived column name collides with ordinal {ord_name!r}")
+    body = _render_exec(query, env, dialect, _qid(ord_name))
+    select = ", ".join(_qid(c) for c in output_columns(query, env, cache))
+    # The ordinal orders the outermost SELECT but is not projected: rendered
+    # output columns are exactly the engine's.
+    return (f"SELECT {select} FROM (\n{_indent(body)}\n"
+            f') AS "q" ORDER BY "q".{_qid(ord_name)}')
+
+
+def to_sql(query: ast.Query, env: ast.Env,
+           dialect: str | Dialect = "display") -> str:
+    """Render a concrete query as SQL text; raises on partial queries.
+
+    ``dialect="display"`` keeps the paper's presentation.  ``"sqlite"`` /
+    ``"duckdb"`` produce executable SQL whose result — rows *and* row
+    order — matches engine evaluation when run against tables loaded by
+    :class:`repro.oracle.Oracle` (which materializes the row-ordinal
+    column executable rendering threads through every subquery).
+    """
     if not is_concrete(query):
         raise HoleError("cannot render a partial query as SQL")
-    return _render(query, env) + ";"
+    resolved = resolve_dialect(dialect)
+    if not resolved.executable:
+        return _render_display(query, env) + ";"
+    return _render_executable(query, env, resolved) + ";"

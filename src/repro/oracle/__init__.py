@@ -1,0 +1,31 @@
+"""Real-database differential oracle (ROADMAP: execution-backed verification).
+
+The synthesizer's engine evaluates L_SQL on the AST; this package checks
+that evaluation against something that is not us: rendered SQL executed on
+a real database.  :class:`Oracle` loads an :class:`~repro.lang.Env` into
+an in-memory SQLite or DuckDB connection (DuckDB optional —
+``HAVE_DUCKDB``), executes queries rendered by
+:func:`repro.lang.to_sql` in an executable dialect, and
+:func:`check_query` compares the decoded result sets against
+:class:`~repro.engine.EvalEngine` output under ``table.values`` semantics.
+:func:`minimize` shrinks any disagreement to a small replayable plan.
+
+``repro.oracle.fuzz`` hosts the seeded plan generators shared with the
+cross-backend fuzz suite.
+"""
+
+from repro.oracle.core import Oracle, oracle_value_eq, rows_differ
+from repro.oracle.db import HAVE_DUCKDB, connect
+from repro.oracle.differential import (
+    ENGINE_ERRORS,
+    Mismatch,
+    Outcome,
+    check_query,
+    minimize,
+)
+
+__all__ = [
+    "Oracle", "oracle_value_eq", "rows_differ",
+    "HAVE_DUCKDB", "connect",
+    "ENGINE_ERRORS", "Mismatch", "Outcome", "check_query", "minimize",
+]

@@ -1,0 +1,187 @@
+"""The real-database oracle: load an :class:`Env`, execute rendered SQL,
+compare against engine output.
+
+The oracle closes the loop the renderer opens.  :func:`repro.lang.to_sql`
+in an executable dialect promises that its SQL — run against tables loaded
+*by this module* — reproduces engine evaluation exactly, rows and row
+order.  The loader's half of that contract is the row-ordinal column
+(:func:`repro.lang.ordinal_name`): every base table is materialized with
+its insertion order as a physical column the rendered query threads to the
+outermost ``ORDER BY``.
+
+Value domain
+------------
+SQL databases type columns; the engine types cells.  The loader therefore
+admits exactly the envs whose columns are single-typed (ints, floats, a
+mix of the two, strings, or booleans — NULLs anywhere), and raises
+:class:`OracleUnsupportedError` for the rest (mixed-type columns, NaN /
+infinities, ints past int64, NUL bytes in strings).  That domain covers
+every registry task and the SQL-safe fuzz profile; the fuzz harness's
+adversarial mixed-dtype profile stays with the in-process backends, which
+are the only evaluators that can represent it.
+
+Decoded results are compared *positionally* under ``table.values``
+semantics: :func:`oracle_value_eq` is :func:`~repro.table.values.value_eq`
+(float tolerance, NULL == NULL only) extended with bool/int affinity,
+because SQLite has no boolean storage class — ``True`` comes back as ``1``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import OracleError, OracleUnsupportedError
+from repro.lang import ast
+from repro.lang.sql_render import (
+    Dialect,
+    _INT64_MAX,
+    _INT64_MIN,
+    _qid,
+    ordinal_name,
+    resolve_dialect,
+    to_sql,
+)
+from repro.table.table import Table
+from repro.table.values import Value, value_eq
+
+from repro.oracle.db import connect
+
+
+def _column_sql_type(values: list[Value], dialect: Dialect) -> str:
+    """The declared SQL type for a column holding ``values``.
+
+    Raises :class:`OracleUnsupportedError` when no single SQL type can
+    represent the column faithfully.
+    """
+    present = [v for v in values if v is not None]
+    if not present:
+        return dialect.int_type          # all-NULL: any type will do
+    if all(isinstance(v, bool) for v in present):
+        return dialect.bool_type
+    if all(isinstance(v, (int, float)) and not isinstance(v, bool)
+           for v in present):
+        for v in present:
+            if isinstance(v, float) and not math.isfinite(v):
+                raise OracleUnsupportedError(
+                    f"non-finite float {v!r} has no portable SQL encoding")
+            if isinstance(v, int) and not _INT64_MIN <= v <= _INT64_MAX:
+                raise OracleUnsupportedError(
+                    f"integer {v} exceeds the oracle's int64 domain")
+        if any(isinstance(v, float) for v in present):
+            return dialect.float_type
+        return dialect.int_type
+    if all(isinstance(v, str) for v in present):
+        if any("\x00" in v for v in present):
+            raise OracleUnsupportedError(
+                "NUL byte in string cell (not portable across drivers)")
+        return dialect.text_type
+    raise OracleUnsupportedError(
+        "mixed-type column cannot be loaded into a typed SQL column")
+
+
+def _encode(value: Value, dialect: Dialect) -> Value:
+    if isinstance(value, bool) and dialect.bool_as_int:
+        return int(value)
+    return value
+
+
+def oracle_value_eq(engine_value: Value, db_value: Value) -> bool:
+    """``value_eq`` extended with bool/int affinity.
+
+    SQLite stores booleans as integers, so a boolean engine cell may come
+    back as ``0`` / ``1``; accept the pair exactly when the integer is the
+    boolean's encoding.
+    """
+    if isinstance(engine_value, bool) and isinstance(db_value, int) \
+            and not isinstance(db_value, bool):
+        return int(engine_value) == db_value
+    if isinstance(db_value, bool) and isinstance(engine_value, int) \
+            and not isinstance(engine_value, bool):
+        return int(db_value) == engine_value
+    return value_eq(engine_value, db_value)
+
+
+def rows_differ(engine_rows: Sequence[Sequence[Value]],
+                db_rows: Sequence[Sequence[Value]]) -> str | None:
+    """The first positional difference between two result sets, or None."""
+    if len(engine_rows) != len(db_rows):
+        return (f"row count differs: engine {len(engine_rows)}, "
+                f"database {len(db_rows)}")
+    for i, (er, dr) in enumerate(zip(engine_rows, db_rows)):
+        if len(er) != len(dr):
+            return (f"row {i} arity differs: engine {len(er)}, "
+                    f"database {len(dr)}")
+        for j, (ev, dv) in enumerate(zip(er, dr)):
+            if not oracle_value_eq(ev, dv):
+                return (f"cell ({i}, {j}) differs: engine {ev!r}, "
+                        f"database {dv!r}")
+    return None
+
+
+class Oracle:
+    """An :class:`Env` loaded into a real database, ready to execute.
+
+    ::
+
+        with Oracle(env, "sqlite") as oracle:
+            db_rows = oracle.execute(query)
+
+    ``execute`` renders ``query`` in the oracle's dialect, runs it, and
+    returns the decoded rows — in the engine's row order, without the
+    internal ordinal column.
+    """
+
+    def __init__(self, env: ast.Env, dialect: str | Dialect = "sqlite"):
+        self.dialect = resolve_dialect(dialect)
+        if not self.dialect.executable:
+            raise OracleError(
+                f"dialect {self.dialect.name!r} is display-only; "
+                "the oracle needs an executable dialect")
+        self.env = env
+        self.ordinal = ordinal_name(env)
+        self._con = connect(self.dialect.db)
+        try:
+            for table in env.tables:
+                self._load(table)
+        except BaseException:
+            self._con.close()
+            raise
+
+    # ------------------------------------------------------------- loading
+    def _load(self, table: Table) -> None:
+        if self.ordinal in table.columns:
+            raise OracleUnsupportedError(
+                f"table {table.name!r} already has a column named "
+                f"{self.ordinal!r}")
+        decls = [
+            f"{_qid(col)} {_column_sql_type(table.column_values(j), self.dialect)}"
+            for j, col in enumerate(table.columns)]
+        decls.append(f"{_qid(self.ordinal)} {self.dialect.int_type}")
+        self._con.run(
+            f"CREATE TABLE {_qid(table.name)} ({', '.join(decls)})")
+        if not table.rows:
+            return
+        placeholders = ", ".join("?" for _ in range(table.n_cols + 1))
+        self._con.insert_many(
+            f"INSERT INTO {_qid(table.name)} VALUES ({placeholders})",
+            [tuple(_encode(v, self.dialect) for v in row) + (i,)
+             for i, row in enumerate(table.rows)])
+
+    # ----------------------------------------------------------- execution
+    def execute(self, query: ast.Query) -> list[tuple[Value, ...]]:
+        """Rendered-query results, decoded, in engine row order."""
+        sql = to_sql(query, self.env, self.dialect)
+        return self._con.fetch_all(sql)
+
+    def execute_sql(self, sql: str) -> list[tuple[Value, ...]]:
+        return self._con.fetch_all(sql)
+
+    def close(self) -> None:
+        self._con.close()
+
+    def __enter__(self) -> "Oracle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,270 @@
+"""Differential checking of the engine against a database, with shrinking.
+
+:func:`check_query` runs one (query, env) through both sides and
+classifies the result:
+
+* ``ok`` — both sides produced a result and every cell matched under
+  ``table.values`` semantics (positionally: the renderer's ordinal
+  threading makes database row order the engine's row order);
+* ``skipped`` — the case is outside the comparison's domain: the engine
+  itself rejected the plan as ill-typed on the data (the same error set
+  batched evaluation tolerates), or the env holds values SQL cannot
+  represent (:class:`OracleUnsupportedError`);
+* ``mismatch`` — everything was in-domain and the sides still disagreed:
+  differing cells, a database error on an engine-accepted plan, or a
+  renderer failure.  These are findings, never skips.
+
+A mismatch on a deep fuzz plan over two 8-row tables is a poor bug
+report, so :func:`minimize` shrinks it: greedy subtree splicing and
+parameter simplification on the query, then ddmin-style row removal on
+the input tables — re-checking against a fresh oracle at every step and
+keeping any transformation that still mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import OracleError, OracleUnsupportedError, SqlRenderError
+from repro.lang import ast
+from repro.lang.predicates import AndPred, TruePred
+from repro.lang.sql_render import Dialect, resolve_dialect, to_sql
+from repro.table.table import Table
+from repro.table.values import Value
+
+from repro.oracle.core import Oracle, rows_differ
+
+#: Engine-side errors that mark a plan ill-typed on the data rather than
+#: wrong — the same set batched evaluation tolerates (``errors="none"``).
+ENGINE_ERRORS = (TypeError, ValueError, ZeroDivisionError)
+
+
+@dataclass
+class Mismatch:
+    """One engine-vs-database disagreement, with everything needed to replay."""
+
+    query: ast.Query
+    env: ast.Env
+    dialect: Dialect
+    sql: str | None
+    reason: str
+    engine_rows: tuple | None = None
+    db_rows: tuple | None = None
+
+    def describe(self) -> str:
+        from repro.lang import to_instructions
+
+        lines = [f"oracle mismatch on {self.dialect.name}: {self.reason}"]
+        for table in self.env.tables:
+            lines.append(f"input {table.name!r} "
+                         f"({table.n_rows}x{table.n_cols}): "
+                         f"{[list(r) for r in table.rows]}")
+        lines.append("plan:")
+        lines.extend("  " + line
+                     for line in to_instructions(self.query,
+                                                 self.env).splitlines())
+        if self.sql is not None:
+            lines.append("sql:")
+            lines.extend("  " + line for line in self.sql.splitlines())
+        if self.engine_rows is not None:
+            lines.append(f"engine rows: {[list(r) for r in self.engine_rows]}")
+        if self.db_rows is not None:
+            lines.append(f"database rows: {[list(r) for r in self.db_rows]}")
+        return "\n".join(lines)
+
+
+@dataclass
+class Outcome:
+    status: str                   # "ok" | "skipped" | "mismatch"
+    mismatch: Mismatch | None = None
+    skip_reason: str | None = None
+
+    @property
+    def compared(self) -> bool:
+        return self.status != "skipped"
+
+
+def check_query(query: ast.Query, env: ast.Env,
+                dialect: str | Dialect = "sqlite",
+                oracle: Oracle | None = None,
+                engine=None) -> Outcome:
+    """Differential-check one plan; see the module docstring for statuses.
+
+    Pass ``oracle`` to reuse a loaded database across many queries over
+    the same env (the registry sweep); without it a fresh in-memory
+    database is loaded and torn down per call (the fuzz sweep, where
+    every case has its own env).
+    """
+    resolved = resolve_dialect(dialect)
+    if engine is None:
+        from repro.engine import RowEngine
+
+        engine = RowEngine()
+    try:
+        expected = engine.evaluate(query, env)
+    except ENGINE_ERRORS as err:
+        return Outcome("skipped",
+                       skip_reason=f"engine: {type(err).__name__}: {err}")
+
+    own_oracle = oracle is None
+    if own_oracle:
+        try:
+            oracle = Oracle(env, resolved)
+        except OracleUnsupportedError as err:
+            return Outcome("skipped", skip_reason=f"unsupported env: {err}")
+    try:
+        try:
+            sql = to_sql(query, env, oracle.dialect)
+        except SqlRenderError as err:
+            mismatch = Mismatch(query, env, resolved, None,
+                                f"render error: {err}",
+                                engine_rows=expected.rows)
+            return Outcome("mismatch", mismatch=mismatch)
+        try:
+            db_rows = oracle.execute_sql(sql)
+        except OracleError as err:
+            mismatch = Mismatch(query, env, resolved, sql,
+                                f"database error: {err}",
+                                engine_rows=expected.rows)
+            return Outcome("mismatch", mismatch=mismatch)
+        reason = rows_differ(expected.rows, db_rows)
+        if reason is not None:
+            mismatch = Mismatch(query, env, resolved, sql, reason,
+                                engine_rows=expected.rows,
+                                db_rows=tuple(db_rows))
+            return Outcome("mismatch", mismatch=mismatch)
+        return Outcome("ok")
+    finally:
+        if own_oracle:
+            oracle.close()
+
+
+# ------------------------------------------------------------- minimization
+
+def _paths(query: ast.Query, path: tuple[int, ...] = ()):
+    yield path, query
+    for i, child in enumerate(query.child_queries()):
+        yield from _paths(child, path + (i,))
+
+
+def _replace_at(query: ast.Query, path: tuple[int, ...],
+                node: ast.Query) -> ast.Query:
+    if not path:
+        return node
+    children = list(query.child_queries())
+    children[path[0]] = _replace_at(children[path[0]], path[1:], node)
+    return query.with_children(tuple(children))
+
+
+def _simplified_params(node: ast.Query) -> list[ast.Query]:
+    """Cheaper variants of one node (children untouched)."""
+    out: list[ast.Query] = []
+    pred = getattr(node, "pred", None)
+    if isinstance(pred, AndPred):
+        out.extend(replace(node, pred=p) for p in pred.parts)
+    if pred is not None and not isinstance(pred, TruePred):
+        if isinstance(node, ast.Join):
+            out.append(replace(node, pred=None))
+        else:
+            out.append(replace(node, pred=TruePred()))
+    keys = getattr(node, "keys", None)
+    if keys:
+        out.append(replace(node, keys=()))
+        if len(keys) > 1:
+            out.extend(replace(node, keys=(k,)) for k in keys)
+    if isinstance(node, (ast.Sort, ast.Proj)) and len(node.cols) > 1:
+        out.extend(replace(node, cols=(c,)) for c in node.cols)
+    if isinstance(node, ast.Sort) and not node.ascending:
+        out.append(replace(node, ascending=True))
+    return out
+
+
+def _query_candidates(query: ast.Query) -> list[ast.Query]:
+    """Strictly simpler plans to try, most aggressive first."""
+    out: list[ast.Query] = []
+    for path, node in _paths(query):
+        for child in node.child_queries():
+            out.append(_replace_at(query, path, child))
+    for path, node in _paths(query):
+        for simpler in _simplified_params(node):
+            out.append(_replace_at(query, path, simpler))
+    # A "simplification" that reproduces the current plan would loop the
+    # greedy fixpoint forever.
+    return [c for c in out if c != query]
+
+
+def _with_rows(env: ast.Env, table_idx: int,
+               rows: tuple[tuple[Value, ...], ...]) -> ast.Env:
+    old = env.tables[table_idx]
+    new = Table.from_rows(old.name, old.columns, rows,
+                          primary_key=old.schema.primary_key,
+                          foreign_keys=old.schema.foreign_keys)
+    tables = list(env.tables)
+    tables[table_idx] = new
+    return ast.Env(tuple(tables))
+
+
+def _shrink_rows(query: ast.Query, env: ast.Env, dialect, engine,
+                 still_fails) -> ast.Env:
+    """ddmin-lite: drop ever-smaller row chunks from each input table."""
+    for idx in range(len(env.tables)):
+        chunk = max(1, len(env.tables[idx].rows) // 2)
+        while chunk >= 1:
+            i = 0
+            while i < len(env.tables[idx].rows):
+                rows = env.tables[idx].rows
+                candidate_rows = rows[:i] + rows[i + chunk:]
+                candidate = _with_rows(env, idx, candidate_rows)
+                if still_fails(query, candidate):
+                    env = candidate
+                else:
+                    i += chunk
+            chunk //= 2
+    return env
+
+
+def minimize(mismatch: Mismatch, engine=None) -> Mismatch:
+    """A smaller plan/env still failing the differential check.
+
+    Greedy fixpoint: try every subtree splice and parameter
+    simplification, restart from the first that still mismatches; then
+    shrink input rows.  Every candidate runs against a fresh in-memory
+    database, so minimization is slow-ish but deterministic.
+    """
+    if engine is None:
+        from repro.engine import RowEngine
+
+        engine = RowEngine()
+    dialect = mismatch.dialect
+
+    best: Mismatch = mismatch
+
+    def still_fails(query: ast.Query, env: ast.Env) -> bool:
+        nonlocal best
+        outcome = check_query(query, env, dialect, engine=engine)
+        if outcome.status == "mismatch":
+            best = outcome.mismatch
+            return True
+        return False
+
+    query, env = mismatch.query, mismatch.env
+    progress = True
+    while progress:
+        progress = False
+        for candidate in _query_candidates(query):
+            if still_fails(candidate, env):
+                query = candidate
+                progress = True
+                break
+    env = _shrink_rows(query, env, dialect, engine, still_fails)
+    # One more query pass: smaller inputs can unlock further splices.
+    progress = True
+    while progress:
+        progress = False
+        for candidate in _query_candidates(query):
+            if still_fails(candidate, env):
+                query = candidate
+                progress = True
+                break
+    still_fails(query, env)     # leave `best` describing the final state
+    return best

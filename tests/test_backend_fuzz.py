@@ -2,11 +2,12 @@
 
 With three engine backends, the repo's core guarantee — the ``backend``
 knob trades evaluation strategy, never results — can no longer be held by
-hand-picked cases alone.  This harness generates seeded random query plans
-over seeded random tables (mixed dtypes, ``None`` cells, empty tables,
-single-row groups, tolerance-tripping floats, ints past the NumPy
-backend's int64-safe bound) and asserts that the row, columnar and NumPy
-backends produce
+hand-picked cases alone.  This harness draws seeded random query plans
+over seeded random tables from :mod:`repro.oracle.fuzz`'s backend profile
+(mixed dtypes, ``None`` cells, empty tables, single-row groups,
+tolerance-tripping floats, ints past the NumPy backend's int64-safe
+bound — the generator lives there so the database-oracle suite shares
+it) and asserts that the row, columnar and NumPy backends produce
 
 * identical concrete tables (rows *and* inferred schemas),
 * identical tracked terms and value shadows (term-for-term), and
@@ -27,13 +28,11 @@ from __future__ import annotations
 import pytest
 
 from repro.engine import HAVE_NUMPY, make_engine
-from repro.lang import ast
-from repro.lang.predicates import AndPred, ColCmp, ConstCmp, TruePred
+from repro.oracle.fuzz import fuzz_case as _case
+from repro.oracle.fuzz import random_value as _value
 from repro.provenance.consistency import demo_consistent
 from repro.provenance.demo import Demonstration
 from repro.provenance.expr import CellRef, Const
-from repro.table.table import Table
-from repro.util.rng import stable_rng
 
 #: Seeded evaluation cases (acceptance bar: >= 200 generated cases).
 N_EVAL_CASES = 300
@@ -43,125 +42,6 @@ N_CONSISTENCY_CASES = 120
 #: Cases per parametrized batch: small enough that a failing batch
 #: localizes quickly, large enough to keep collection overhead low.
 BATCH = 25
-
-AGG_FUNCS = ("sum", "avg", "max", "min", "count")
-ANALYTIC_FUNCS = ("sum", "avg", "max", "min", "count", "cumsum", "cummax",
-                  "cummin", "cumavg", "rank", "dense_rank", "rank_desc",
-                  "dense_rank_desc")
-ARITH_FUNCS = ("add", "sub", "mul", "div", "percent", "pct_change")
-COMPARISON_OPS = ("==", "<", ">", "<=", ">=", "!=")
-
-#: Value pools chosen to trip every classification and comparison edge:
-#: int/float collisions (2 vs 2.0), float pairs inside and outside the
-#: 1e-9 equality tolerance, ints beyond the int64-exactness bound, empty
-#: strings, bools (same Python value as 0/1, different sort class).
-INT_POOL = (0, 1, 2, 3, -1, -7, 10, 100, 10**12, 10**12 + 1, 2**53 + 1,
-            -(2**53) - 3)
-FLOAT_POOL = (0.0, -0.0, 1.0, 2.0, 2.5, -1.5, 0.1 + 0.2, 0.3, 1e-10,
-              -1e-10, 1e12, 1e12 + 0.001, 3.0000000001, 3.0)
-STR_POOL = ("a", "b", "cc", "d", "", "A", "ab", "a\x00", "\x00")
-COLUMN_KINDS = ("int", "float", "str", "bool", "mixed")
-
-
-def _value(rng, kind: str, none_p: float = 0.2):
-    if rng.random() < none_p:
-        return None
-    if kind == "mixed":
-        kind = rng.choice(("int", "float", "str", "bool"))
-    if kind == "int":
-        return rng.choice(INT_POOL)
-    if kind == "float":
-        return rng.choice(FLOAT_POOL)
-    if kind == "bool":
-        return rng.random() < 0.5
-    return rng.choice(STR_POOL)
-
-
-def _table(rng, name: str) -> Table:
-    n_rows = rng.randrange(0, 9)       # 0 rows: empty-table edge case
-    n_cols = rng.randrange(1, 5)
-    kinds = [rng.choice(COLUMN_KINDS) for _ in range(n_cols)]
-    # Low per-column None probability keeps most columns typed under the
-    # NumPy backend while still exercising the object escape hatch.
-    none_p = rng.choice((0.0, 0.0, 0.15, 0.5))
-    rows = [tuple(_value(rng, kinds[j], none_p) for j in range(n_cols))
-            for _ in range(n_rows)]
-    return Table.from_rows(name, [f"c{j}" for j in range(n_cols)], rows)
-
-
-def _pred(rng, n_cols: int):
-    roll = rng.random()
-    if roll < 0.4:
-        return ConstCmp(rng.randrange(n_cols), rng.choice(COMPARISON_OPS),
-                        _value(rng, "mixed", none_p=0.1))
-    if roll < 0.75:
-        return ColCmp(rng.randrange(n_cols), rng.choice(COMPARISON_OPS),
-                      rng.randrange(n_cols))
-    if roll < 0.9:
-        return AndPred((ConstCmp(rng.randrange(n_cols),
-                                 rng.choice(COMPARISON_OPS),
-                                 _value(rng, "mixed", none_p=0.1)),
-                        ColCmp(rng.randrange(n_cols),
-                               rng.choice(COMPARISON_OPS),
-                               rng.randrange(n_cols))))
-    return TruePred()
-
-
-def _width(query: ast.Query, env: ast.Env) -> int:
-    from repro.lang.naming import output_columns
-
-    return len(output_columns(query, env))
-
-
-def _query(rng, env: ast.Env, depth: int) -> ast.Query:
-    query: ast.Query = ast.TableRef(rng.choice(env.names()))
-    for _ in range(depth):
-        n_cols = _width(query, env)
-        op = rng.choice(("filter", "sort", "proj", "group", "group",
-                         "partition", "partition", "arith", "join",
-                         "leftjoin"))
-        if op == "filter":
-            query = ast.Filter(query, _pred(rng, n_cols))
-        elif op == "sort":
-            width = rng.randrange(1, min(n_cols, 3) + 1)
-            query = ast.Sort(query,
-                             tuple(rng.sample(range(n_cols), width)),
-                             rng.random() < 0.5)
-        elif op == "proj":
-            width = rng.randrange(1, n_cols + 1)
-            query = ast.Proj(query,
-                             tuple(rng.sample(range(n_cols), width)))
-        elif op == "group":
-            keys = tuple(sorted(rng.sample(range(n_cols),
-                                           rng.randrange(0, n_cols))))
-            query = ast.Group(query, keys, rng.choice(AGG_FUNCS),
-                              rng.randrange(n_cols))
-        elif op == "partition":
-            keys = tuple(sorted(rng.sample(range(n_cols),
-                                           rng.randrange(0, n_cols))))
-            query = ast.Partition(query, keys, rng.choice(ANALYTIC_FUNCS),
-                                  rng.randrange(n_cols))
-        elif op == "arith":
-            query = ast.Arithmetic(query, rng.choice(ARITH_FUNCS),
-                                   (rng.randrange(n_cols),
-                                    rng.randrange(n_cols)))
-        elif op in ("join", "leftjoin"):
-            other = ast.TableRef(rng.choice(env.names()))
-            total = n_cols + _width(other, env)
-            if op == "join":
-                pred = None if rng.random() < 0.3 else _pred(rng, total)
-                query = ast.Join(query, other, pred)
-            else:
-                query = ast.LeftJoin(query, other, _pred(rng, total))
-    return query
-
-
-def _case(label: str, seed: int):
-    """(env, query) of one seeded case."""
-    rng = stable_rng(label, seed)
-    tables = [_table(rng, "T"), _table(rng, "S")]
-    env = ast.Env(tuple(tables))
-    return rng, env, _query(rng, env, rng.randrange(1, 6))
 
 
 def _outcome(thunk):

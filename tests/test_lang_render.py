@@ -79,7 +79,16 @@ class TestSqlRendering:
         env = Env.of(tiny_table, other)
         q = Join(TableRef("T"), TableRef("N"), pred=ColCmp(0, "==", 3))
         sql = to_sql(q, env)
-        assert "JOIN" in sql and "ON ID = ID_2" in sql
+        assert "JOIN" in sql and "ON a.ID = b.ID" in sql
+
+    def test_join_projects_renamed_duplicates(self, tiny_table):
+        # Both sides share every column name; a bare SELECT * would emit
+        # ambiguous duplicates while the engine renames via joined_columns.
+        env = Env.of(tiny_table)
+        q = Join(TableRef("T"), TableRef("T"), pred=ColCmp(0, "==", 3))
+        sql = to_sql(q, env)
+        assert "b.ID AS ID_2" in sql
+        assert "b.Sales AS Sales_2" in sql
 
     def test_arithmetic_uses_template(self, env):
         q = Arithmetic(TableRef("T"), func="percent", cols=(2, 1))
@@ -118,3 +127,315 @@ class TestInstructionRendering:
     def test_works_without_env(self, ground_truth):
         text = to_instructions(ground_truth)
         assert "group(T" in text
+
+
+class TestDialects:
+    def test_dialect_registry(self):
+        from repro.lang import DIALECTS, Dialect, resolve_dialect
+
+        assert set(DIALECTS) == {"display", "sqlite", "duckdb"}
+        assert not DIALECTS["display"].executable
+        assert DIALECTS["sqlite"].executable
+        assert DIALECTS["duckdb"].executable
+        assert resolve_dialect("sqlite") is DIALECTS["sqlite"]
+        assert isinstance(resolve_dialect(DIALECTS["duckdb"]), Dialect)
+
+    def test_unknown_dialect_rejected(self, env):
+        from repro.errors import SqlRenderError
+
+        with pytest.raises(SqlRenderError):
+            to_sql(TableRef("T"), env, "postgres")
+
+    def test_display_sort_is_display_only(self, env):
+        """Display keeps the paper's subquery ORDER BY (not real SQL —
+        subquery ordering does not survive the enclosing query); the
+        executable dialects thread ordering to the outermost SELECT via
+        the row ordinal instead."""
+        q = Filter(Sort(TableRef("T"), cols=(2,), ascending=True),
+                   ConstCmp(2, ">", 0))
+        display = to_sql(q, env)
+        assert ") ORDER BY Sales ASC" in display          # inside the subquery
+        executable = to_sql(q, env, "sqlite")
+        assert executable.rstrip(";").endswith('ORDER BY "q"."__ord"')
+        assert 'ROW_NUMBER() OVER (ORDER BY "Sales" ASC NULLS LAST, ' \
+            '"__ord" ASC)' in executable
+
+    def test_ordinal_name_avoids_collisions(self, tiny_table):
+        from repro.lang import ordinal_name
+        from repro.table import Table
+
+        clash = Table.from_rows("C", ["__ord", "x"], [[1, 2]])
+        assert ordinal_name(Env.of(tiny_table)) == "__ord"
+        assert ordinal_name(Env.of(clash)) == "__ord_2"
+
+    def test_executable_rejects_derived_ordinal_collision(self, env):
+        from repro.errors import SqlRenderError
+
+        q = Group(TableRef("T"), keys=(), agg_func="sum", agg_col=2,
+                  alias="__ord")
+        with pytest.raises(SqlRenderError):
+            to_sql(q, env, "sqlite")
+        assert "__ord" in to_sql(q, env)    # display does not care
+
+
+class TestLiteralEscaping:
+    """Satellite regression: constants render as *SQL* literals."""
+
+    def test_single_quotes_doubled(self, env):
+        q = Filter(TableRef("T"), ConstCmp(0, "==", "O'Brien"))
+        assert "'O''Brien'" in to_sql(q, env)
+        assert "'O''Brien'" in to_sql(q, env, "sqlite")
+
+    def test_bool_and_null_are_sql_keywords(self, env):
+        q = Filter(TableRef("T"), ConstCmp(1, "!=", None))
+        sql = to_sql(q, env)
+        assert "<> NULL" in sql and "None" not in sql
+        q = Filter(TableRef("T"), ConstCmp(1, "==", True))
+        sql = to_sql(q, env)
+        assert "= TRUE" in sql and "True" not in sql
+
+    def test_equality_operator_is_sql(self, env):
+        q = Filter(TableRef("T"), ConstCmp(2, "==", 10))
+        assert "Sales = 10" in to_sql(q, env)
+        q = Filter(TableRef("T"), ConstCmp(2, "!=", 10))
+        assert "Sales <> 10" in to_sql(q, env)
+
+    def test_weird_identifiers_quoted(self):
+        from repro.table import Table
+
+        t = Table.from_rows('W', ['a"b', 'sel ect'], [[1, 2]])
+        sql = to_sql(Proj(TableRef("W"), cols=(0,)), Env.of(t), "sqlite")
+        assert '"a""b"' in sql
+
+    def test_unrepresentable_constants_rejected(self, env):
+        from repro.errors import SqlRenderError
+
+        bad_int = Filter(TableRef("T"), ConstCmp(2, ">", 2**64))
+        with pytest.raises(SqlRenderError):
+            to_sql(bad_int, env, "sqlite")
+        bad_float = Filter(TableRef("T"), ConstCmp(2, ">", float("nan")))
+        with pytest.raises(SqlRenderError):
+            to_sql(bad_float, env, "sqlite")
+        bad_str = Filter(TableRef("T"), ConstCmp(0, "==", "a\x00b"))
+        with pytest.raises(SqlRenderError):
+            to_sql(bad_str, env, "sqlite")
+
+
+class TestGoldenSql:
+    """Full-text snapshots: one query per AST node, display and sqlite.
+
+    These lock the rendered shape — whitespace included — so renderer
+    changes are reviewed as golden diffs, not discovered by the oracle.
+    """
+
+    @pytest.fixture
+    def tiny_env(self, tiny_table):
+        return Env.of(tiny_table)
+
+    def _check(self, query, env, dialect, expected):
+        assert to_sql(query, env, dialect) == expected
+
+    def test_filter_display(self, tiny_env):
+        q = Filter(TableRef("T"), ConstCmp(0, "==", "O'Brien"))
+        self._check(q, tiny_env, "display",
+                    "SELECT * FROM (\n"
+                    "  T\n"
+                    ") WHERE ID = 'O''Brien';")
+
+    def test_filter_sqlite(self, tiny_env):
+        q = Filter(TableRef("T"), ConstCmp(0, "==", "O'Brien"))
+        self._check(
+            q, tiny_env, "sqlite",
+            'SELECT "ID", "Quarter", "Sales" FROM (\n'
+            '  SELECT "ID", "Quarter", "Sales", "__ord" FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "t" WHERE "ID" = \'O\'\'Brien\'\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_proj_display(self, tiny_env):
+        q = Proj(TableRef("T"), cols=(2, 0))
+        self._check(q, tiny_env, "display",
+                    "SELECT Sales, ID FROM (\n"
+                    "  T\n"
+                    ");")
+
+    def test_proj_sqlite(self, tiny_env):
+        q = Proj(TableRef("T"), cols=(2, 0))
+        self._check(
+            q, tiny_env, "sqlite",
+            'SELECT "Sales", "ID" FROM (\n'
+            '  SELECT "Sales" AS "Sales", "ID" AS "ID", "__ord" FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "t"\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_sort_display(self, tiny_env):
+        q = Sort(TableRef("T"), cols=(2,), ascending=False)
+        self._check(q, tiny_env, "display",
+                    "SELECT * FROM (\n"
+                    "  T\n"
+                    ") ORDER BY Sales DESC;")
+
+    def test_sort_sqlite(self, tiny_env):
+        q = Sort(TableRef("T"), cols=(2,), ascending=False)
+        self._check(
+            q, tiny_env, "sqlite",
+            'SELECT "ID", "Quarter", "Sales" FROM (\n'
+            '  SELECT "ID", "Quarter", "Sales", ROW_NUMBER() OVER '
+            '(ORDER BY "Sales" DESC NULLS FIRST, "__ord" ASC) '
+            'AS "__ord" FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "t"\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_group_display(self, tiny_env):
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        self._check(q, tiny_env, "display",
+                    "SELECT ID, SUM(Sales) AS sum_Sales FROM (\n"
+                    "  T\n"
+                    ") GROUP BY ID;")
+
+    def test_group_sqlite(self, tiny_env):
+        q = Group(TableRef("T"), keys=(0,), agg_func="sum", agg_col=2)
+        self._check(
+            q, tiny_env, "sqlite",
+            'SELECT "ID", "sum_Sales" FROM (\n'
+            '  SELECT "ID" AS "ID", COALESCE(SUM("Sales"), 0) AS "sum_Sales", '
+            'MIN("__ord") AS "__ord" FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "t" GROUP BY "ID"\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_group_no_keys_sqlite(self, tiny_env):
+        # Empty key set: one group over all rows but *no* group on empty
+        # input — grouping by a constant expression over a real column
+        # (unlike a bare aggregate, which always yields one row).
+        q = Group(TableRef("T"), keys=(), agg_func="avg", agg_col=2)
+        self._check(
+            q, tiny_env, "sqlite",
+            'SELECT "avg_Sales" FROM (\n'
+            '  SELECT AVG("Sales") AS "avg_Sales", MIN("__ord") AS "__ord" '
+            'FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "t" GROUP BY "__ord" * 0\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_partition_display(self, tiny_env):
+        q = Partition(TableRef("T"), keys=(0,), agg_func="cumsum", agg_col=2)
+        self._check(
+            q, tiny_env, "display",
+            "SELECT *, CUMSUM(Sales) OVER (PARTITION BY ID) "
+            "AS cumsum_Sales FROM (\n"
+            "  T\n"
+            ");")
+
+    def test_partition_cumsum_sqlite(self, tiny_env):
+        # CUMSUM becomes a standard running-sum window frame; COALESCE
+        # matches the engine's sum-of-all-NULLs = 0.
+        q = Partition(TableRef("T"), keys=(0,), agg_func="cumsum", agg_col=2)
+        self._check(
+            q, tiny_env, "sqlite",
+            'SELECT "ID", "Quarter", "Sales", "cumsum_Sales" FROM (\n'
+            '  SELECT "ID", "Quarter", "Sales", COALESCE(SUM("Sales") OVER '
+            '(PARTITION BY "ID" ORDER BY "__ord" ROWS BETWEEN UNBOUNDED '
+            'PRECEDING AND CURRENT ROW), 0) AS "cumsum_Sales", "__ord" '
+            'FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "t"\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_partition_rank_desc_sqlite(self, tiny_env):
+        # Engine rank_desc puts NULL rows at rank 1 while excluding NULLs
+        # from every non-NULL row's comparison pool; no single NULLS
+        # FIRST/LAST placement does both, hence the CASE pin.
+        q = Partition(TableRef("T"), keys=(), agg_func="rank_desc",
+                      agg_col=2)
+        self._check(
+            q, tiny_env, "sqlite",
+            'SELECT "ID", "Quarter", "Sales", "rank_desc_Sales" FROM (\n'
+            '  SELECT "ID", "Quarter", "Sales", CASE WHEN "Sales" IS NULL '
+            'THEN 1 ELSE RANK() OVER (ORDER BY "Sales" DESC NULLS LAST) END '
+            'AS "rank_desc_Sales", "__ord" FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "t"\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_arithmetic_display(self, tiny_env):
+        q = Arithmetic(TableRef("T"), func="div", cols=(2, 1))
+        self._check(q, tiny_env, "display",
+                    "SELECT *, Sales / Quarter AS div(Sales, Quarter) "
+                    "FROM (\n"
+                    "  T\n"
+                    ");")
+
+    def test_arithmetic_div_sqlite(self, tiny_env):
+        # True division with the engine's div-by-zero -> NULL semantics
+        # (SQLite would truncate int division and DuckDB would raise).
+        q = Arithmetic(TableRef("T"), func="div", cols=(2, 1))
+        self._check(
+            q, tiny_env, "sqlite",
+            'SELECT "ID", "Quarter", "Sales", "div(Sales, Quarter)" FROM (\n'
+            '  SELECT "ID", "Quarter", "Sales", CASE WHEN "Quarter" = 0 '
+            'THEN NULL ELSE CAST("Sales" AS REAL) / "Quarter" END '
+            'AS "div(Sales, Quarter)", "__ord" FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "t"\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_arithmetic_div_duckdb(self, tiny_env):
+        q = Arithmetic(TableRef("T"), func="div", cols=(2, 1))
+        self._check(
+            q, tiny_env, "duckdb",
+            'SELECT "ID", "Quarter", "Sales", "div(Sales, Quarter)" FROM (\n'
+            '  SELECT "ID", "Quarter", "Sales", CASE WHEN "Quarter" = 0 '
+            'THEN NULL ELSE CAST("Sales" AS DOUBLE) / "Quarter" END '
+            'AS "div(Sales, Quarter)", "__ord" FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "t"\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_join_display(self, tiny_env):
+        q = Join(TableRef("T"), TableRef("T"), pred=ColCmp(0, "==", 3))
+        self._check(
+            q, tiny_env, "display",
+            "SELECT a.ID, a.Quarter, a.Sales, b.ID AS ID_2, "
+            "b.Quarter AS Quarter_2, b.Sales AS Sales_2 FROM (\n"
+            "  T\n"
+            ") AS a JOIN (\n"
+            "  T\n"
+            ") AS b ON a.ID = b.ID;")
+
+    def test_join_sqlite(self, tiny_env):
+        q = Join(TableRef("T"), TableRef("T"), pred=ColCmp(0, "==", 3))
+        self._check(
+            q, tiny_env, "sqlite",
+            'SELECT "ID", "Quarter", "Sales", "ID_2", "Quarter_2", '
+            '"Sales_2" FROM (\n'
+            '  SELECT "a"."ID" AS "ID", "a"."Quarter" AS "Quarter", '
+            '"a"."Sales" AS "Sales", "b"."ID" AS "ID_2", '
+            '"b"."Quarter" AS "Quarter_2", "b"."Sales" AS "Sales_2", '
+            'ROW_NUMBER() OVER (ORDER BY "a"."__ord", "b"."__ord") '
+            'AS "__ord" FROM (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "a" JOIN (\n'
+            '    SELECT "ID", "Quarter", "Sales", "__ord" FROM "T"\n'
+            '  ) AS "b" ON "a"."ID" = "b"."ID"\n'
+            ') AS "q" ORDER BY "q"."__ord";')
+
+    def test_left_join_display(self, tiny_env):
+        from repro.lang import LeftJoin
+
+        q = LeftJoin(TableRef("T"), TableRef("T"), pred=ColCmp(1, "==", 4))
+        self._check(
+            q, tiny_env, "display",
+            "SELECT a.ID, a.Quarter, a.Sales, b.ID AS ID_2, "
+            "b.Quarter AS Quarter_2, b.Sales AS Sales_2 FROM (\n"
+            "  T\n"
+            ") AS a LEFT JOIN (\n"
+            "  T\n"
+            ") AS b ON a.Quarter = b.Quarter;")
+
+    def test_cross_join_sqlite_uses_cross_join(self, tiny_env):
+        q = Join(TableRef("T"), TableRef("T"), pred=None)
+        sql = to_sql(q, tiny_env, "sqlite")
+        assert "CROSS JOIN" in sql and " ON " not in sql
